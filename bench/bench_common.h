@@ -1,0 +1,82 @@
+// Shared scaffolding for the per-table/per-figure reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper from a
+// freshly simulated corpus. Corpus sizes default to values that keep a full
+// `for b in build/bench/*; do $b; done` sweep under a couple of minutes while
+// remaining statistically stable; override with --sessions=N / --seed=N.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "vqoe/core/pipeline.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::bench {
+
+struct Args {
+  std::size_t sessions = 0;  ///< 0 = bench-specific default
+  std::uint64_t seed = 0;    ///< 0 = bench-specific default
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sessions=", 0) == 0) {
+      args.sessions = std::strtoull(arg.c_str() + 11, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--help") {
+      std::printf("usage: %s [--sessions=N] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void banner(const char* experiment, const char* paper_result) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_result);
+  std::printf("==============================================================\n");
+}
+
+/// The Section 3 cleartext operator corpus (mixed progressive/HAS), as
+/// labelled sessions.
+inline std::vector<core::SessionRecord> cleartext_sessions(
+    std::size_t sessions = 12000, std::uint64_t seed = 42) {
+  auto options = workload::cleartext_corpus_options(sessions, seed);
+  options.keep_session_results = false;
+  return core::sessions_from_corpus(workload::generate_corpus(options));
+}
+
+/// The adaptive (HAS) subset at scale — training population of the
+/// representation and switch models (Sections 4.2/4.3).
+inline std::vector<core::SessionRecord> has_sessions(std::size_t sessions = 5000,
+                                                     std::uint64_t seed = 43) {
+  auto options = workload::has_corpus_options(sessions, seed);
+  options.keep_session_results = false;
+  return core::sessions_from_corpus(workload::generate_corpus(options));
+}
+
+/// The Section 5.2 encrypted corpus: generated, TLS-stripped, session-
+/// reconstructed, and ground-truth joined.
+inline std::vector<core::SessionRecord> encrypted_sessions(
+    std::size_t sessions = 722, std::uint64_t seed = 4242) {
+  auto options = workload::encrypted_corpus_options(sessions, seed);
+  options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(options);
+  corpus.weblogs = trace::encrypt_view(std::move(corpus.weblogs));
+  return core::sessions_from_encrypted(corpus.weblogs, corpus.truths);
+}
+
+inline void print_classifier_tables(const ml::ConfusionMatrix& cm) {
+  std::printf("overall accuracy: %.1f%%\n\n", 100.0 * cm.accuracy());
+  std::printf("%s\n", cm.metrics_table().c_str());
+  std::printf("%s\n", cm.confusion_table().c_str());
+}
+
+}  // namespace vqoe::bench

@@ -1,0 +1,100 @@
+// Extension experiment: how much labelled data does an operator need?
+//
+// The paper trains on ~390k sessions; operators bootstrapping the approach
+// (or re-training after a delivery change, Section 7) want the learning
+// curve. We train the stall model on growing subsets of the cleartext
+// corpus and evaluate on a fixed held-out set, also comparing the four
+// classifiers' sample efficiency.
+#include "bench_common.h"
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/ml/adaboost.h"
+#include "vqoe/ml/importance.h"
+#include "vqoe/ml/knn.h"
+#include "vqoe/ml/naive_bayes.h"
+
+namespace {
+
+using namespace vqoe;
+
+ml::Dataset stall_dataset(const std::vector<core::SessionRecord>& sessions) {
+  std::vector<std::vector<core::ChunkObs>> chunks;
+  std::vector<core::StallLabel> labels;
+  for (const auto& s : sessions) {
+    chunks.push_back(s.chunks);
+    labels.push_back(core::stall_label(s.truth));
+  }
+  return core::build_stall_dataset(chunks, labels);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const std::uint64_t seed = args.seed ? args.seed : 42;
+
+  bench::banner("Extension — labelled-data learning curve (stall model)",
+                "not in the paper (trained on ~390k sessions); answers how "
+                "small a labelled bootstrap can be");
+
+  // One big pool, split into a fixed test set and a training pool.
+  const auto pool = bench::cleartext_sessions(
+      args.sessions ? args.sessions : 14000, seed);
+  const std::size_t test_size = 4000;
+  const std::vector<core::SessionRecord> test_sessions(
+      pool.begin(), pool.begin() + test_size);
+  const std::vector<core::SessionRecord> train_pool(pool.begin() + test_size,
+                                                    pool.end());
+  const auto test_full = stall_dataset(test_sessions);
+
+  // Feature set fixed once on the full pool (selection stability is part of
+  // the curve in reality, but mixing both effects muddies the reading).
+  const auto reference =
+      core::StallDetector::train(stall_dataset(train_pool), {});
+  const auto& features = reference.selected_features();
+  const auto test = test_full.project(features);
+
+  std::printf("test set: %zu sessions; features: %zu (CFS on the full pool)\n\n",
+              test_sessions.size(), features.size());
+  std::printf("%-10s %-10s %-12s %-12s %-10s %-10s\n", "train N", "RF acc.",
+              "RF mild TP", "NaiveBayes", "7-NN", "AdaBoost");
+
+  std::mt19937_64 rng{seed ^ 0xabcdULL};
+  for (const std::size_t n : {250ul, 500ul, 1000ul, 2000ul, 4000ul, 8000ul}) {
+    if (n > train_pool.size()) break;
+    const std::vector<core::SessionRecord> subset(train_pool.begin(),
+                                                  train_pool.begin() + n);
+    auto train = stall_dataset(subset).project(features);
+    train = train.balanced_undersample(rng);
+    if (train.class_counts()[2] == 0) {
+      std::printf("%-10zu (no severe examples yet)\n", n);
+      continue;
+    }
+
+    ml::ForestParams forest_params;
+    forest_params.num_trees = 60;
+    const auto forest = ml::RandomForest::fit(train, forest_params);
+    const auto nb = ml::GaussianNaiveBayes::fit(train);
+    const auto knn = ml::KnnClassifier::fit(train, 7);
+    const auto boost = ml::AdaBoost::fit(train, {});
+
+    auto acc = [&](auto&& model) {
+      return ml::predictor_accuracy(
+          [&](std::span<const double> x) { return model.predict(x); }, test);
+    };
+    // RF per-class detail.
+    ml::ConfusionMatrix cm{test.class_names()};
+    for (std::size_t i = 0; i < test.rows(); ++i) {
+      cm.add(test.label(i), forest.predict(test.row(i)));
+    }
+
+    std::printf("%-10zu %-10.3f %-12.3f %-12.3f %-10.3f %-10.3f\n", n,
+                cm.accuracy(), cm.tp_rate(1), acc(nb), acc(knn), acc(boost));
+  }
+
+  std::printf("\nreading: the headline accuracy saturates within a few\n"
+              "thousand labelled sessions; the mild-stall class is what\n"
+              "keeps improving with data — small bootstraps misjudge\n"
+              "borderline rebuffering, not healthy traffic.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension experiment: sensitivity of encrypted-session reconstruction.
+//
+// Section 5.2 reconstructs sessions with three rules (domain filter,
+// watch-page markers, idle gaps) and reports that "the vast majority" of
+// sessions were identified. This bench quantifies each rule's contribution
+// and the idle-gap threshold sensitivity, and shows how reconstruction
+// errors propagate into stall-detection accuracy.
+#include "bench_common.h"
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/session/reconstruct.h"
+
+namespace {
+
+using namespace vqoe;
+
+struct Row {
+  std::string name;
+  session::ReconstructionOptions options;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+
+  bench::banner("Extension — session reconstruction sensitivity (Section 5.2)",
+                "paper reports 'the vast majority' recovered; here: per-rule "
+                "contribution and downstream cost");
+
+  auto options = workload::encrypted_corpus_options(722, 4242);
+  options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(options);
+  corpus.weblogs = trace::encrypt_view(std::move(corpus.weblogs));
+
+  // A trained stall model to measure downstream impact.
+  const auto pipeline =
+      core::QoePipeline::train(bench::cleartext_sessions(
+          args.sessions ? args.sessions : 8000, args.seed ? args.seed : 42));
+
+  std::vector<Row> rows;
+  rows.push_back({"default (markers + 30 s gap)", {}});
+  {
+    session::ReconstructionOptions o;
+    o.use_page_markers = false;
+    rows.push_back({"no page markers", o});
+  }
+  for (double gap : {10.0, 60.0, 120.0}) {
+    session::ReconstructionOptions o;
+    o.idle_gap_s = gap;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "idle gap %.0f s", gap);
+    rows.push_back({buf, o});
+  }
+  {
+    session::ReconstructionOptions o;
+    o.use_page_markers = false;
+    o.idle_gap_s = 600.0;
+    rows.push_back({"gaps only, 600 s (degenerate)", o});
+  }
+
+  std::printf("%-32s %-10s %-12s %-12s %-12s\n", "configuration", "sessions",
+              "exact-chunk", "matched", "stall acc.");
+  for (const Row& row : rows) {
+    const auto reconstructed = session::reconstruct(corpus.weblogs, row.options);
+    const double exact =
+        session::reconstruction_accuracy(reconstructed, corpus.truths);
+    const auto sessions = core::sessions_from_encrypted(
+        corpus.weblogs, corpus.truths, row.options);
+    const auto cm = core::evaluate_stall(pipeline.stall_detector(), sessions);
+    std::printf("%-32s %-10zu %-12.1f %-12zu %-12.1f\n", row.name.c_str(),
+                reconstructed.size(), 100.0 * exact, sessions.size(),
+                100.0 * cm.accuracy());
+  }
+
+  std::printf("\nreading: page markers carry most of the boundary signal\n"
+              "(sequential mobile viewing rarely pauses 30 s between videos);\n"
+              "over-long idle gaps glue sessions together, and the glued\n"
+              "sessions drag stall accuracy down with them.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension experiment: initial-delay estimation from traffic.
+//
+// Not a paper artifact — the paper measures initial delay (Section 2.2) but
+// excludes it from its models. This bench evaluates the traffic-only
+// estimator of core/startup.h against ground truth on both corpora,
+// reporting MAE, median absolute error and Pearson correlation, plus the
+// threshold-assumption sensitivity.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "vqoe/core/startup.h"
+#include "vqoe/ts/summary.h"
+
+namespace {
+
+using namespace vqoe;
+
+struct Outcome {
+  double mae = 0.0;
+  double median_abs_error = 0.0;
+  double correlation = 0.0;
+  double mean_truth = 0.0;
+  std::size_t sessions = 0;
+};
+
+Outcome evaluate(const std::vector<core::SessionRecord>& sessions,
+                 const core::StartupEstimatorConfig& config) {
+  std::vector<double> errors, truths, estimates;
+  for (const auto& s : sessions) {
+    if (s.chunks.size() < 3) continue;
+    const double estimate = core::estimate_startup_delay(s.chunks, config);
+    const double truth = s.truth.startup_delay_s;
+    errors.push_back(std::abs(estimate - truth));
+    truths.push_back(truth);
+    estimates.push_back(estimate);
+  }
+  Outcome o;
+  o.sessions = errors.size();
+  if (errors.empty()) return o;
+  o.mae = ts::mean(errors);
+  o.median_abs_error = ts::percentile(errors, 50.0);
+  o.mean_truth = ts::mean(truths);
+
+  const double mt = ts::mean(truths);
+  const double me = ts::mean(estimates);
+  double cov = 0.0, vt = 0.0, ve = 0.0;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    cov += (truths[i] - mt) * (estimates[i] - me);
+    vt += (truths[i] - mt) * (truths[i] - mt);
+    ve += (estimates[i] - me) * (estimates[i] - me);
+  }
+  o.correlation = vt > 0 && ve > 0 ? cov / std::sqrt(vt * ve) : 0.0;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto clear = bench::cleartext_sessions(
+      args.sessions ? args.sessions : 6000, args.seed ? args.seed : 42);
+  const auto encrypted = bench::encrypted_sessions(722, 4242);
+
+  bench::banner("Extension — initial delay estimated from traffic",
+                "not in the paper's models (Section 2.2 cites low QoE "
+                "impact); estimator: pacing-calibrated buffer-fill tracking");
+
+  std::printf("%-22s %-10s %-12s %-10s %-12s %-14s\n", "corpus", "sessions",
+              "truth mean", "MAE (s)", "median (s)", "correlation");
+  for (const auto& [name, sessions] :
+       {std::pair{"cleartext", &clear}, std::pair{"encrypted", &encrypted}}) {
+    const auto o = evaluate(*sessions, {});
+    std::printf("%-22s %-10zu %-12.2f %-10.2f %-12.2f %-14.3f\n", name,
+                o.sessions, o.mean_truth, o.mae, o.median_abs_error,
+                o.correlation);
+  }
+
+  std::printf("\nthreshold-assumption sensitivity (cleartext):\n");
+  std::printf("%-22s %-10s %-12s %-14s\n", "assumed threshold", "MAE (s)",
+              "median (s)", "correlation");
+  for (double threshold : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    core::StartupEstimatorConfig config;
+    config.assumed_threshold_s = threshold;
+    const auto o = evaluate(clear, config);
+    std::printf("%-22.1f %-10.2f %-12.2f %-14.3f\n", threshold, o.mae,
+                o.median_abs_error, o.correlation);
+  }
+  std::printf("\n(player start thresholds vary 3-5 s in the corpus; the "
+              "estimator assumes one value for all — its MAE floor)\n");
+  return 0;
+}

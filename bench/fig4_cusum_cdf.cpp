@@ -1,0 +1,161 @@
+// Figure 4: "CDF of change detection output for videos with and without
+// resolution changes" — the distribution of STD(CUSUM(Δsize x Δt)) for the
+// two populations, and the fixed decision threshold of 500 which the paper
+// reports separates 78% of no-switch sessions from 76% of switch sessions.
+//
+// Also prints the ablations DESIGN.md calls out:
+//   * Δsize x Δt product vs either delta alone,
+//   * the first-10-seconds start-up filter on/off,
+//   * the ML alternative the paper rejected (a Random Forest on the
+//     representation feature set, classifying switch/no-switch).
+#include "bench_common.h"
+
+#include "vqoe/core/features.h"
+#include "vqoe/ml/random_forest.h"
+#include "vqoe/ts/cusum.h"
+#include "vqoe/ts/ecdf.h"
+
+namespace {
+
+using namespace vqoe;
+
+// Per-session Δ-series after the start-up filter, as raw components.
+struct DeltaSeries {
+  std::vector<double> dsize_kb;
+  std::vector<double> dt_s;
+};
+
+DeltaSeries delta_series(const std::vector<core::ChunkObs>& chunks,
+                         double skip_initial_s) {
+  DeltaSeries out;
+  if (chunks.empty()) return out;
+  const double cutoff = chunks.front().request_time_s + skip_initial_s;
+  std::vector<double> sizes, arrivals;
+  for (const core::ChunkObs& c : chunks) {
+    if (c.arrival_time_s < cutoff) continue;
+    sizes.push_back(c.size_bytes / 1000.0);
+    arrivals.push_back(c.arrival_time_s);
+  }
+  if (sizes.size() < 3) return out;
+  out.dsize_kb = ts::deltas(sizes);
+  out.dt_s = ts::deltas(arrivals);
+  return out;
+}
+
+struct Split {
+  std::vector<double> with_switches;
+  std::vector<double> without_switches;
+};
+
+double frac_below(const std::vector<double>& v, double t) {
+  if (v.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double x : v) below += x <= t ? 1 : 0;
+  return static_cast<double>(below) / static_cast<double>(v.size());
+}
+
+void report(const char* name, const Split& split, double threshold) {
+  std::printf("%-28s correct without: %5.1f%%   detected with: %5.1f%%\n", name,
+              100.0 * frac_below(split.without_switches, threshold),
+              100.0 * (1.0 - frac_below(split.with_switches, threshold)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto sessions =
+      bench::has_sessions(args.sessions ? args.sessions : 5000,
+                          args.seed ? args.seed : 43);
+
+  bench::banner(
+      "Figure 4 — CDF of STD(CUSUM(Δsize x Δt)), with vs without switches",
+      "threshold 500 separates 78% (without) / 76% (with)");
+
+  // Main statistic and the ablation variants.
+  Split product, product_nofilter, dsize_only, dt_only;
+  for (const auto& s : sessions) {
+    const bool has_var =
+        core::variation_label(s.truth) != core::VariationLabel::none;
+    auto push = [&](Split& split, double score) {
+      (has_var ? split.with_switches : split.without_switches).push_back(score);
+    };
+    const auto d10 = delta_series(s.chunks, 10.0);
+    const auto d0 = delta_series(s.chunks, 0.0);
+    push(product, ts::cusum_std(ts::product(d10.dsize_kb, d10.dt_s)));
+    push(product_nofilter, ts::cusum_std(ts::product(d0.dsize_kb, d0.dt_s)));
+    push(dsize_only, ts::cusum_std(d10.dsize_kb));
+    push(dt_only, ts::cusum_std(d10.dt_s));
+  }
+
+  std::printf("sessions: %zu without switches, %zu with switches\n\n",
+              product.without_switches.size(), product.with_switches.size());
+
+  // The figure itself: both CDFs on a shared grid.
+  const ts::Ecdf without_cdf{product.without_switches};
+  const ts::Ecdf with_cdf{product.with_switches};
+  std::printf("%-12s %-16s %-16s\n", "score", "F_no_switch", "F_with_switch");
+  for (double x = 0; x <= 3000.0001; x += 150.0) {
+    std::printf("%-12.0f %-16.4f %-16.4f\n", x, without_cdf(x), with_cdf(x));
+  }
+
+  std::printf("\nAt the paper's fixed threshold of 500 KB·s:\n");
+  report("Δsize x Δt (10 s filter)", product, 500.0);
+  std::printf("(paper: 78.0%% / 76.0%%)\n");
+
+  std::printf("\nAblations:\n");
+  report("Δsize x Δt, no filter", product_nofilter, 500.0);
+  report("Δsize alone", dsize_only, 100.0);
+  report("Δt alone", dt_only, 10.0);
+  std::printf("(single-delta thresholds rescaled to each statistic's units)\n");
+
+  // Balanced-accuracy comparison at each statistic's own best threshold —
+  // the fair version of the ablation.
+  auto best_balanced = [](const Split& split) {
+    const double t = core::SwitchDetector::calibrate_threshold(
+        split.without_switches, split.with_switches);
+    return 0.5 * frac_below(split.without_switches, t) +
+           0.5 * (1.0 - frac_below(split.with_switches, t));
+  };
+  std::printf("\nbest-threshold balanced accuracy:\n");
+  std::printf("  Δsize x Δt : %.1f%%\n", 100.0 * best_balanced(product));
+  std::printf("  Δsize only : %.1f%%\n", 100.0 * best_balanced(dsize_only));
+  std::printf("  Δt only    : %.1f%%\n", 100.0 * best_balanced(dt_only));
+
+  // The ML alternative the paper considered and rejected (Section 4.3):
+  // Random Forest on the 210 representation features, binary target.
+  {
+    ml::Dataset data{core::representation_feature_names(),
+                     {"no variation", "variation"}};
+    for (const auto& s : sessions) {
+      const int label =
+          core::variation_label(s.truth) != core::VariationLabel::none ? 1 : 0;
+      data.add(core::representation_features(s.chunks), label);
+    }
+    std::mt19937_64 rng{7};
+    auto [train, test] = data.stratified_split(0.3, rng);
+    train = train.balanced_undersample(rng);
+    ml::ForestParams params;
+    params.num_trees = 40;
+    const auto forest = ml::RandomForest::fit(train, params);
+    std::size_t correct_with = 0, n_with = 0, correct_without = 0, n_without = 0;
+    for (std::size_t i = 0; i < test.rows(); ++i) {
+      const int pred = forest.predict(test.row(i));
+      if (test.label(i) == 1) {
+        ++n_with;
+        correct_with += pred == 1 ? 1 : 0;
+      } else {
+        ++n_without;
+        correct_without += pred == 0 ? 1 : 0;
+      }
+    }
+    std::printf("\nML alternative (RF, held-out 30%%): correct without %.1f%%, "
+                "detected with %.1f%%\n",
+                100.0 * correct_without / std::max<std::size_t>(1, n_without),
+                100.0 * correct_with / std::max<std::size_t>(1, n_with));
+    std::printf("(the paper found ML *under*-performing the time-series method "
+                "on real traffic;\n on this cleaner simulated corpus the RF "
+                "keeps up — a documented deviation, see EXPERIMENTS.md)\n");
+  }
+  return 0;
+}

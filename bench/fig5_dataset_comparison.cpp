@@ -1,0 +1,68 @@
+// Figure 5: "CDF of the segment size (left) and segment inter-arrival time
+// (right) for encrypted and unencrypted traffic."
+//
+// Paper anchors: strong overlap between the two size distributions, ~10%
+// of segments above 1 MB, bulk at or below 500 KB; encrypted inter-arrival
+// times slightly shorter for ~60% of the chunks (worse radio conditions
+// while commuting).
+#include "bench_common.h"
+
+#include "vqoe/ts/ecdf.h"
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+  const auto args = bench::parse_args(argc, argv);
+  const auto clear = bench::cleartext_sessions(
+      args.sessions ? args.sessions : 8000, args.seed ? args.seed : 42);
+  const auto encrypted = bench::encrypted_sessions(722, 4242);
+
+  bench::banner("Figure 5 — segment size and inter-arrival CDFs, "
+                "encrypted vs cleartext",
+                "distributions overlap; encrypted inter-arrivals slightly "
+                "shorter; ~10% of segments > 1 MB");
+
+  auto collect = [](const std::vector<core::SessionRecord>& sessions,
+                    std::vector<double>& sizes_kb, std::vector<double>& dt_s) {
+    for (const auto& s : sessions) {
+      for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+        sizes_kb.push_back(s.chunks[i].size_bytes / 1000.0);
+        if (i > 0) {
+          dt_s.push_back(s.chunks[i].arrival_time_s -
+                         s.chunks[i - 1].arrival_time_s);
+        }
+      }
+    }
+  };
+
+  std::vector<double> clear_sizes, clear_dt, enc_sizes, enc_dt;
+  collect(clear, clear_sizes, clear_dt);
+  collect(encrypted, enc_sizes, enc_dt);
+
+  const ts::Ecdf cs{clear_sizes}, es{enc_sizes}, cd{clear_dt}, ed{enc_dt};
+
+  std::printf("left: segment size CDF (KB); cleartext n=%zu, encrypted n=%zu\n",
+              clear_sizes.size(), enc_sizes.size());
+  std::printf("%-12s %-14s %-14s\n", "size_KB", "F_cleartext", "F_encrypted");
+  for (double x : {25.0, 50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1000.0,
+                   1500.0, 2000.0, 3000.0}) {
+    std::printf("%-12.0f %-14.4f %-14.4f\n", x, cs(x), es(x));
+  }
+  std::printf("\nsegments > 1 MB: cleartext %.1f%%, encrypted %.1f%% "
+              "(paper: ~10%%)\n",
+              100.0 * (1.0 - cs(1000.0)), 100.0 * (1.0 - es(1000.0)));
+
+  std::printf("\nright: inter-arrival time CDF (s)\n");
+  std::printf("%-12s %-14s %-14s\n", "dt_s", "F_cleartext", "F_encrypted");
+  for (double x : {0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 20.0}) {
+    std::printf("%-12.2f %-14.4f %-14.4f\n", x, cd(x), ed(x));
+  }
+
+  // The paper's "60% of encrypted chunks have slightly lower values":
+  // compare medians and the fraction of the encrypted mass below the
+  // cleartext median.
+  const double clear_median = cd.quantile(0.5);
+  std::printf("\ncleartext median dt %.2f s, encrypted median dt %.2f s; "
+              "%.0f%% of encrypted inter-arrivals below the cleartext median\n",
+              clear_median, ed.quantile(0.5), 100.0 * ed(clear_median));
+  return 0;
+}

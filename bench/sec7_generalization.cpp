@@ -1,0 +1,110 @@
+// Section 7 (limitations / future work): does the methodology generalize to
+// other streaming services?
+//
+// The paper argues that Vevo, Vimeo, Dailymotion etc. "have adopted the
+// same technologies that YouTube is using" — adaptive streaming, rate
+// limiting, a range of qualities — and that the approach should carry
+// over; evaluating that is named as future work. This bench performs the
+// experiment on simulated services that differ in segment length, encode
+// bitrates, audio handling and pacing:
+//
+//   * train the stall model ONCE on the YouTube-like cleartext corpus,
+//   * evaluate it, plus the fixed-threshold switch detector, on encrypted
+//     corpora of each alternative service (session reconstruction uses that
+//     service's host names — the only per-service adaptation an operator
+//     needs).
+#include "bench_common.h"
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/workload/service.h"
+
+namespace {
+
+using namespace vqoe;
+
+std::vector<core::SessionRecord> encrypted_service_sessions(
+    const workload::ServiceTraits& service, std::size_t sessions,
+    std::uint64_t seed) {
+  auto options = workload::encrypted_corpus_options(sessions, seed);
+  options.service = service;
+  options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(options);
+  corpus.weblogs = trace::encrypt_view(std::move(corpus.weblogs));
+
+  session::ReconstructionOptions reconstruction;
+  reconstruction.cdn_suffixes = service.cdn_suffixes();
+  reconstruction.page_marker_hosts = service.page_marker_hosts();
+  reconstruction.service_suffixes = service.service_suffixes();
+  return core::sessions_from_encrypted(corpus.weblogs, corpus.truths,
+                                       reconstruction);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const auto clear = bench::cleartext_sessions(
+      args.sessions ? args.sessions : 12000, args.seed ? args.seed : 42);
+
+  bench::banner("Section 7 — generalization to other streaming services",
+                "named future work: same technologies, methodology should "
+                "transfer");
+
+  const auto pipeline = core::QoePipeline::train(clear);
+  const core::SwitchDetector switch_detector;  // fixed threshold 500 KB·s
+
+  std::printf("stall model trained once on the YouTube-like corpus "
+              "(%zu sessions)\n\n",
+              clear.size());
+  std::printf("%-18s %-10s %-12s %-12s %-13s %-10s %-12s %-13s %-10s\n",
+              "service", "sessions", "stall acc.", "healthy TP", "sw.w/o@500",
+              "sw.w@500", "recal.thr", "sw.w/o@rec", "sw.w@rec");
+
+  const std::vector<workload::ServiceTraits> services = {
+      workload::youtube_service(), workload::vimeo_like_service(),
+      workload::dailymotion_like_service(), workload::netflix_like_service()};
+
+  for (const auto& service : services) {
+    const auto sessions = encrypted_service_sessions(service, 722, 4242);
+    const auto cm = core::evaluate_stall(pipeline.stall_detector(), sessions);
+    const auto sw = core::evaluate_switch(switch_detector, sessions);
+
+    // Per-service threshold recalibration from a small labelled sample (the
+    // first 150 sessions), evaluated on the remainder — the one adaptation
+    // the CUSUM statistic genuinely needs, since its KB·s units depend on
+    // segment sizing.
+    const std::size_t calib = std::min<std::size_t>(150, sessions.size() / 2);
+    std::vector<double> with_scores, without_scores;
+    for (std::size_t i = 0; i < calib; ++i) {
+      const double score = switch_detector.score(sessions[i].chunks);
+      if (core::variation_label(sessions[i].truth) !=
+          core::VariationLabel::none) {
+        with_scores.push_back(score);
+      } else {
+        without_scores.push_back(score);
+      }
+    }
+    const double recal =
+        core::SwitchDetector::calibrate_threshold(without_scores, with_scores);
+    const core::SwitchDetector recal_detector{
+        {.threshold = recal, .skip_initial_s = 10.0}};
+    const std::span rest{sessions.data() + calib, sessions.size() - calib};
+    const auto sw_recal = core::evaluate_switch(recal_detector, rest);
+
+    std::printf(
+        "%-18s %-10zu %-12.1f %-12.3f %-13.1f %-10.1f %-12.0f %-13.1f %-10.1f\n",
+        service.name.c_str(), sessions.size(), 100.0 * cm.accuracy(),
+        cm.tp_rate(0), 100.0 * sw.accuracy_without, 100.0 * sw.accuracy_with,
+        recal, 100.0 * sw_recal.accuracy_without, 100.0 * sw_recal.accuracy_with);
+  }
+
+  std::printf(
+      "\nreading: the YouTube-trained stall model transfers with a "
+      "several-point\npenalty; the switch statistic separates the two "
+      "populations on every service\nbut its KB·s scale tracks segment "
+      "sizing, so the FIXED 500 threshold breaks\noff-service — a ~150-"
+      "session labelled sample to recalibrate the threshold\nrestores "
+      "detection. Host names for session reconstruction are the only other\n"
+      "per-service adaptation.\n");
+  return 0;
+}

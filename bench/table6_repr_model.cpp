@@ -1,0 +1,53 @@
+// Tables 6 & 7: the average-representation classifier on cleartext HAS
+// sessions.
+//
+// Paper: Random Forest over the CFS-selected features, balanced training,
+// tested on the full set; overall accuracy 84.5%; LD detected best
+// (TP 0.90), HD confusions flow toward SD (downscales during playback).
+#include "bench_common.h"
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/ml/cross_validation.h"
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+  const auto args = bench::parse_args(argc, argv);
+  const auto sessions = bench::has_sessions(
+      args.sessions ? args.sessions : 5000, args.seed ? args.seed : 43);
+
+  bench::banner("Tables 6 & 7 — average representation model (cleartext)",
+                "84.5% accuracy; LD/SD/HD TP rates .90/.768/.756");
+
+  std::vector<std::vector<core::ChunkObs>> chunks;
+  std::vector<core::ReprLabel> labels;
+  for (const auto& s : sessions) {
+    chunks.push_back(s.chunks);
+    labels.push_back(core::repr_label(s.truth));
+  }
+  const auto data = core::build_representation_dataset(chunks, labels);
+  const auto counts = data.class_counts();
+  std::printf("HAS sessions: %zu (LD %zu / SD %zu / HD %zu — paper mix "
+              "57/38/5%%)\n\n",
+              data.rows(), counts[0], counts[1], counts[2]);
+
+  // The paper's procedure: balanced training, test on the entire set. The
+  // resubstitution bias is mitigated here by 10-fold CV over the selected
+  // features, which is the stricter reading.
+  const auto detector = core::RepresentationDetector::train(data);
+  std::printf("CFS kept %zu of %zu features\n\n",
+              detector.selected_features().size(), data.cols());
+
+  const auto projected = data.project(detector.selected_features());
+  ml::ForestParams forest_params;
+  forest_params.num_trees = 60;
+  const auto cm = ml::cross_validate(projected, forest_params, {});
+  bench::print_classifier_tables(cm);
+
+  // Paper-faithful variant (train balanced, evaluate on everything) for
+  // completeness.
+  const auto resub_cm = core::evaluate_representation(detector, sessions);
+  std::printf("paper-procedure (balanced train, full-set test) accuracy: "
+              "%.1f%%\n",
+              100.0 * resub_cm.accuracy());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// ABR policy comparison: using the simulator and the QoE labelling rules to
+// quantify how adaptation strategy trades the three impairments off against
+// each other — the kind of what-if study the paper motivates for operators
+// ("optimize radio resource allocation across users", Section 1).
+//
+// Three players watch the same videos over the same channels:
+//   * conservative: low safety factor, long dwell, low start rung
+//   * balanced:     the defaults
+//   * aggressive:   high safety factor, short dwell, probes hard
+//
+// Build & run:  ./build/examples/abr_comparison
+#include <cstdio>
+
+#include "vqoe/core/labels.h"
+#include "vqoe/net/channel.h"
+#include "vqoe/sim/player.h"
+#include "vqoe/sim/video.h"
+
+namespace {
+
+using namespace vqoe;
+
+struct PolicyOutcome {
+  std::string name;
+  double stall_sessions_pct = 0;
+  double mean_rr = 0;
+  double mean_height = 0;
+  double mean_switches = 0;
+  double mean_startup_s = 0;
+};
+
+PolicyOutcome evaluate_policy(const std::string& name,
+                              const sim::PlayerConfig& config,
+                              std::size_t runs) {
+  sim::Catalog catalog{64, 5};
+  const sim::HasPlayer player{config};
+
+  PolicyOutcome outcome;
+  outcome.name = name;
+  std::mt19937_64 rng{99};
+  std::size_t stalled = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto& video = catalog.sample(rng);
+    // Fluctuating mid-grade cellular: the regime where policy matters.
+    auto channel = i % 3 == 0 ? net::make_commute_channel(1000 + i)
+                              : net::make_channel(net::profile_cell_fair(),
+                                                  1000 + i);
+    const auto session = player.play(video, *channel, 5000 + i);
+    if (!session.stalls.empty()) ++stalled;
+    outcome.mean_rr += session.rebuffering_ratio();
+    outcome.mean_height += session.average_height();
+    outcome.mean_switches += static_cast<double>(session.switch_count());
+    outcome.mean_startup_s += session.startup_delay_s;
+  }
+  const double n = static_cast<double>(runs);
+  outcome.stall_sessions_pct = 100.0 * static_cast<double>(stalled) / n;
+  outcome.mean_rr /= n;
+  outcome.mean_height /= n;
+  outcome.mean_switches /= n;
+  outcome.mean_startup_s /= n;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRuns = 300;
+
+  sim::PlayerConfig conservative;
+  conservative.abr.safety_factor = 0.6;
+  conservative.abr.min_dwell_segments = 12;
+  conservative.abr.up_margin = 1.5;
+  conservative.abr.initial = sim::Resolution::p144;
+
+  sim::PlayerConfig balanced;  // library defaults
+
+  sim::PlayerConfig aggressive;
+  aggressive.abr.safety_factor = 0.95;
+  aggressive.abr.min_dwell_segments = 2;
+  aggressive.abr.up_margin = 1.0;
+  aggressive.abr.initial = sim::Resolution::p480;
+
+  std::printf("comparing ABR policies over %zu sessions each "
+              "(fair cellular + commute mix)\n\n",
+              kRuns);
+  std::printf("%-14s %-10s %-8s %-12s %-10s %-10s\n", "policy", "stalled%",
+              "meanRR", "mean_height", "switches", "startup_s");
+  for (const auto& outcome :
+       {evaluate_policy("conservative", conservative, kRuns),
+        evaluate_policy("balanced", balanced, kRuns),
+        evaluate_policy("aggressive", aggressive, kRuns)}) {
+    std::printf("%-14s %-10.1f %-8.4f %-12.0f %-10.2f %-10.2f\n",
+                outcome.name.c_str(), outcome.stall_sessions_pct,
+                outcome.mean_rr, outcome.mean_height, outcome.mean_switches,
+                outcome.mean_startup_s);
+  }
+
+  std::printf(
+      "\nreading: conservative policies avoid stalls but sacrifice "
+      "resolution;\naggressive ones buy pixels with rebuffering and "
+      "switching — the QoE trade-off\nthe paper's three detectors are built "
+      "to observe from outside.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "vqoe/core/detectors.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vqoe/ml/feature_selection.h"
+#include "vqoe/ts/cusum.h"
+
+namespace vqoe::core {
+
+namespace {
+
+template <typename Label>
+ml::Dataset build_dataset(std::span<const std::vector<ChunkObs>> sessions,
+                          std::span<const Label> labels,
+                          const std::vector<std::string>& feature_names,
+                          std::vector<double> (*extract)(std::span<const ChunkObs>),
+                          const std::vector<std::string>& class_names) {
+  if (sessions.size() != labels.size()) {
+    throw std::invalid_argument{"build_dataset: sessions/labels size mismatch"};
+  }
+  ml::Dataset data{feature_names, class_names};
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    data.add(extract(sessions[i]), static_cast<int>(labels[i]));
+  }
+  return data;
+}
+
+// Shared train logic of the two forest detectors: optional CFS feature
+// selection (or a fixed feature list), class balancing, forest fit.
+struct TrainedForest {
+  ml::RandomForest forest;
+  std::vector<std::string> selected;
+};
+
+TrainedForest train_forest(const ml::Dataset& data,
+                           const ForestDetectorConfig& config) {
+  TrainedForest out;
+  if (!config.fixed_features.empty()) {
+    out.selected = config.fixed_features;
+  } else if (config.feature_selection) {
+    out.selected = ml::cfs_best_first_feature_names(data);
+    if (out.selected.empty()) out.selected = data.feature_names();
+  } else {
+    out.selected = data.feature_names();
+  }
+
+  ml::Dataset projected = data.project(out.selected);
+  if (config.balance_training) {
+    std::mt19937_64 rng{config.seed};
+    projected = projected.balanced_undersample(rng);
+  }
+  out.forest = ml::RandomForest::fit(projected, config.forest);
+  return out;
+}
+
+std::vector<std::size_t> selection_indices(
+    const std::vector<std::string>& all,
+    const std::vector<std::string>& selected) {
+  std::vector<std::size_t> idx;
+  idx.reserve(selected.size());
+  for (const std::string& name : selected) {
+    const auto it = std::find(all.begin(), all.end(), name);
+    if (it == all.end()) {
+      throw std::invalid_argument{"unknown feature in selection: " + name};
+    }
+    idx.push_back(static_cast<std::size_t>(it - all.begin()));
+  }
+  return idx;
+}
+
+std::vector<double> project_vector(std::span<const double> full,
+                                   std::span<const std::size_t> idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) out.push_back(full[i]);
+  return out;
+}
+
+}  // namespace
+
+ml::Dataset build_stall_dataset(std::span<const std::vector<ChunkObs>> sessions,
+                                std::span<const StallLabel> labels) {
+  return build_dataset(sessions, labels, stall_feature_names(), &stall_features,
+                       stall_class_names());
+}
+
+ml::Dataset build_representation_dataset(
+    std::span<const std::vector<ChunkObs>> sessions,
+    std::span<const ReprLabel> labels) {
+  return build_dataset(sessions, labels, representation_feature_names(),
+                       &representation_features, repr_class_names());
+}
+
+StallDetector StallDetector::train(const ml::Dataset& data,
+                                   const ForestDetectorConfig& config) {
+  StallDetector d;
+  auto trained = train_forest(data, config);
+  d.forest_ = std::move(trained.forest);
+  d.selected_ = std::move(trained.selected);
+  d.selected_idx_ = selection_indices(stall_feature_names(), d.selected_);
+  return d;
+}
+
+StallLabel StallDetector::classify(std::span<const ChunkObs> chunks) const {
+  return classify_features(stall_features(chunks));
+}
+
+StallLabel StallDetector::classify_features(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error{"StallDetector: not trained"};
+  const auto projected = project_vector(features, selected_idx_);
+  return static_cast<StallLabel>(forest_.predict(projected));
+}
+
+StallDetector StallDetector::from_parts(ml::RandomForest forest,
+                                         std::vector<std::string> selected) {
+  if (forest.feature_names() != selected) {
+    throw std::invalid_argument{
+        "StallDetector::from_parts: forest/selection layout mismatch"};
+  }
+  StallDetector d;
+  d.selected_idx_ = selection_indices(stall_feature_names(), selected);
+  d.forest_ = std::move(forest);
+  d.selected_ = std::move(selected);
+  return d;
+}
+
+RepresentationDetector RepresentationDetector::train(
+    const ml::Dataset& data, const ForestDetectorConfig& config) {
+  RepresentationDetector d;
+  auto trained = train_forest(data, config);
+  d.forest_ = std::move(trained.forest);
+  d.selected_ = std::move(trained.selected);
+  d.selected_idx_ = selection_indices(representation_feature_names(), d.selected_);
+  return d;
+}
+
+ReprLabel RepresentationDetector::classify(std::span<const ChunkObs> chunks) const {
+  return classify_features(representation_features(chunks));
+}
+
+ReprLabel RepresentationDetector::classify_features(
+    std::span<const double> features) const {
+  if (!trained()) throw std::logic_error{"RepresentationDetector: not trained"};
+  const auto projected = project_vector(features, selected_idx_);
+  return static_cast<ReprLabel>(forest_.predict(projected));
+}
+
+RepresentationDetector RepresentationDetector::from_parts(
+    ml::RandomForest forest, std::vector<std::string> selected) {
+  if (forest.feature_names() != selected) {
+    throw std::invalid_argument{
+        "RepresentationDetector::from_parts: forest/selection layout mismatch"};
+  }
+  RepresentationDetector d;
+  d.selected_idx_ = selection_indices(representation_feature_names(), selected);
+  d.forest_ = std::move(forest);
+  d.selected_ = std::move(selected);
+  return d;
+}
+
+double SwitchDetector::score(std::span<const ChunkObs> chunks) const {
+  const auto signal = switch_signal(chunks, config_.skip_initial_s);
+  if (signal.size() < 2) return 0.0;
+  return ts::cusum_std(signal);
+}
+
+double SwitchDetector::calibrate_threshold(
+    std::span<const double> scores_without_switches,
+    std::span<const double> scores_with_switches) {
+  // Sweep candidate thresholds at every observed score; maximize balanced
+  // accuracy (mean of the two per-population accuracies).
+  std::vector<double> candidates;
+  candidates.reserve(scores_without_switches.size() + scores_with_switches.size());
+  candidates.insert(candidates.end(), scores_without_switches.begin(),
+                    scores_without_switches.end());
+  candidates.insert(candidates.end(), scores_with_switches.begin(),
+                    scores_with_switches.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  double best_threshold = 0.0;
+  double best_score = -1.0;
+  for (const double t : candidates) {
+    const auto below = static_cast<double>(
+        std::count_if(scores_without_switches.begin(), scores_without_switches.end(),
+                      [t](double s) { return s <= t; }));
+    const auto above = static_cast<double>(
+        std::count_if(scores_with_switches.begin(), scores_with_switches.end(),
+                      [t](double s) { return s > t; }));
+    const double balanced =
+        0.5 * below / std::max<std::size_t>(1, scores_without_switches.size()) +
+        0.5 * above / std::max<std::size_t>(1, scores_with_switches.size());
+    if (balanced > best_score) {
+      best_score = balanced;
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace vqoe::core

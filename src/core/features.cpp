@@ -1,0 +1,193 @@
+#include "vqoe/core/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vqoe/ts/cusum.h"
+#include "vqoe/ts/summary.h"
+
+namespace vqoe::core {
+
+namespace {
+
+constexpr double kBytesPerKB = 1000.0;
+
+// Per-chunk base metric series, session-relative.
+struct MetricSeries {
+  std::vector<double> rtt_min, rtt_avg, rtt_max;
+  std::vector<double> bdp, bif_avg, bif_max;
+  std::vector<double> loss, retrans;
+  std::vector<double> chunk_size;  // KB
+  std::vector<double> chunk_time;  // arrival relative to session start (s)
+  std::vector<double> chunk_dt;    // inter-arrival times (s), n-1 values
+  std::vector<double> goodput;     // kbit/s
+};
+
+MetricSeries extract_series(std::span<const ChunkObs> chunks) {
+  MetricSeries m;
+  const std::size_t n = chunks.size();
+  const double t0 = n > 0 ? chunks.front().request_time_s : 0.0;
+  m.rtt_min.reserve(n);
+  for (const ChunkObs& c : chunks) {
+    m.rtt_min.push_back(c.transport.rtt_min_ms);
+    m.rtt_avg.push_back(c.transport.rtt_avg_ms);
+    m.rtt_max.push_back(c.transport.rtt_max_ms);
+    m.bdp.push_back(c.transport.bdp_bytes / kBytesPerKB);
+    m.bif_avg.push_back(c.transport.bif_avg_bytes / kBytesPerKB);
+    m.bif_max.push_back(c.transport.bif_max_bytes / kBytesPerKB);
+    m.loss.push_back(c.transport.loss_pct);
+    m.retrans.push_back(c.transport.retrans_pct);
+    m.chunk_size.push_back(c.size_bytes / kBytesPerKB);
+    m.chunk_time.push_back(c.arrival_time_s - t0);
+    m.goodput.push_back(c.goodput_kbps());
+  }
+  m.chunk_dt = ts::deltas(m.chunk_time);
+  return m;
+}
+
+// Running (cumulative) mean of a series.
+std::vector<double> running_mean(std::span<const double> v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    acc += v[i];
+    out.push_back(acc / static_cast<double>(i + 1));
+  }
+  return out;
+}
+
+struct NamedSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+std::vector<NamedSeries> stall_metric_set(const MetricSeries& m) {
+  return {
+      {"rtt_min", m.rtt_min},       {"rtt_avg", m.rtt_avg},
+      {"rtt_max", m.rtt_max},       {"bdp", m.bdp},
+      {"bif_avg", m.bif_avg},       {"bif_max", m.bif_max},
+      {"loss", m.loss},             {"retrans", m.retrans},
+      {"chunk_size", m.chunk_size}, {"chunk_time", m.chunk_time},
+  };
+}
+
+std::vector<NamedSeries> representation_metric_set(const MetricSeries& m) {
+  return {
+      {"rtt_min", m.rtt_min},
+      {"rtt_avg", m.rtt_avg},
+      {"rtt_max", m.rtt_max},
+      {"bdp", m.bdp},
+      {"bif_avg", m.bif_avg},
+      {"bif_max", m.bif_max},
+      {"loss", m.loss},
+      {"retrans", m.retrans},
+      {"chunk_size", m.chunk_size},
+      {"chunk_dt", m.chunk_dt},
+      {"chunk_avg_size", running_mean(m.chunk_size)},
+      {"chunk_dsize", ts::deltas(m.chunk_size)},
+      {"throughput_avg", running_mean(m.goodput)},
+      {"cusum_throughput", ts::cusum_chart(m.goodput)},
+  };
+}
+
+std::vector<std::string> make_names(std::span<const std::string> metrics,
+                                    std::span<const ts::Statistic> stats) {
+  std::vector<std::string> names;
+  names.reserve(metrics.size() * stats.size());
+  for (const std::string& metric : metrics) {
+    for (const ts::Statistic& stat : stats) {
+      names.push_back(metric + ":" + stat.name());
+    }
+  }
+  return names;
+}
+
+std::vector<double> make_features(std::span<const NamedSeries> metrics,
+                                  std::span<const ts::Statistic> stats) {
+  std::vector<double> out;
+  out.reserve(metrics.size() * stats.size());
+  for (const NamedSeries& metric : metrics) {
+    const auto values = ts::compute_all(stats, metric.values);
+    out.insert(out.end(), values.begin(), values.end());
+  }
+  return out;
+}
+
+const std::vector<std::string> kStallMetricNames = {
+    "rtt_min", "rtt_avg", "rtt_max",    "bdp",        "bif_avg",
+    "bif_max", "loss",    "retrans",    "chunk_size", "chunk_time"};
+
+const std::vector<std::string> kReprMetricNames = {
+    "rtt_min",        "rtt_avg",     "rtt_max",
+    "bdp",            "bif_avg",     "bif_max",
+    "loss",           "retrans",     "chunk_size",
+    "chunk_dt",       "chunk_avg_size", "chunk_dsize",
+    "throughput_avg", "cusum_throughput"};
+
+}  // namespace
+
+std::vector<ChunkObs> chunks_from_weblogs(
+    std::span<const trace::WeblogRecord> records) {
+  std::vector<ChunkObs> out;
+  for (const trace::WeblogRecord& r : records) {
+    if (r.kind != trace::RecordKind::media) continue;
+    ChunkObs c;
+    c.request_time_s = r.timestamp_s;
+    c.arrival_time_s = r.arrival_time_s();
+    c.size_bytes = static_cast<double>(r.object_size_bytes);
+    c.transport = r.transport;
+    out.push_back(c);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const ChunkObs& a, const ChunkObs& b) {
+    return a.request_time_s < b.request_time_s;
+  });
+  return out;
+}
+
+std::vector<ChunkObs> chunks_from_session(
+    const session::ReconstructedSession& session) {
+  return chunks_from_weblogs(session.media);
+}
+
+const std::vector<std::string>& stall_feature_names() {
+  static const std::vector<std::string> names =
+      make_names(kStallMetricNames, ts::stall_statistic_set());
+  return names;
+}
+
+std::vector<double> stall_features(std::span<const ChunkObs> chunks) {
+  const MetricSeries m = extract_series(chunks);
+  return make_features(stall_metric_set(m), ts::stall_statistic_set());
+}
+
+const std::vector<std::string>& representation_feature_names() {
+  static const std::vector<std::string> names =
+      make_names(kReprMetricNames, ts::representation_statistic_set());
+  return names;
+}
+
+std::vector<double> representation_features(std::span<const ChunkObs> chunks) {
+  const MetricSeries m = extract_series(chunks);
+  return make_features(representation_metric_set(m),
+                       ts::representation_statistic_set());
+}
+
+std::vector<double> switch_signal(std::span<const ChunkObs> chunks,
+                                  double skip_initial_s) {
+  if (chunks.empty()) return {};
+  const double cutoff = chunks.front().request_time_s + skip_initial_s;
+  std::vector<double> sizes_kb;
+  std::vector<double> arrivals;
+  for (const ChunkObs& c : chunks) {
+    if (c.arrival_time_s < cutoff) continue;
+    sizes_kb.push_back(c.size_bytes / kBytesPerKB);
+    arrivals.push_back(c.arrival_time_s);
+  }
+  if (sizes_kb.size() < 3) return {};
+  const auto dsize = ts::deltas(sizes_kb);
+  const auto dt = ts::deltas(arrivals);
+  return ts::product(dsize, dt);
+}
+
+}  // namespace vqoe::core

@@ -1,0 +1,149 @@
+// The three QoE impairment detectors of the paper.
+//
+//  * StallDetector (Section 4.1): Random Forest over the 70-feature stall
+//    set, reduced by CFS + Best First feature selection, classifying
+//    no/mild/severe stalling. Trained class-balanced.
+//  * RepresentationDetector (Section 4.2): Random Forest over the
+//    210-feature set, CFS-selected, classifying LD/SD/HD average quality.
+//  * SwitchDetector (Section 4.3): no learning — the standard deviation of
+//    the CUSUM control chart of Δsize x Δt, thresholded at a fixed value
+//    (500 KB·s in the paper, eq. 3) after dropping the first 10 s of the
+//    session.
+//
+// Detectors are trained once on cleartext-derived labels and then applied
+// unchanged to encrypted traffic (Section 5): nothing in their inputs
+// requires cleartext.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/core/features.h"
+#include "vqoe/core/labels.h"
+#include "vqoe/ml/dataset.h"
+#include "vqoe/ml/random_forest.h"
+
+namespace vqoe::core {
+
+/// Builds the 70-column stall ml::Dataset from per-session chunk views and
+/// ground-truth labels. sessions.size() must equal labels.size().
+[[nodiscard]] ml::Dataset build_stall_dataset(
+    std::span<const std::vector<ChunkObs>> sessions,
+    std::span<const StallLabel> labels);
+
+/// Builds the 210-column representation ml::Dataset.
+[[nodiscard]] ml::Dataset build_representation_dataset(
+    std::span<const std::vector<ChunkObs>> sessions,
+    std::span<const ReprLabel> labels);
+
+/// Shared configuration of the two forest-based detectors.
+struct ForestDetectorConfig {
+  ml::ForestParams forest{.num_trees = 60, .tree = {}, .seed = 1,
+                          .compute_oob = false};
+  /// Run CFS + Best First on the training set. When false and
+  /// `fixed_features` is empty, all features are used.
+  bool feature_selection = true;
+  /// Overrides feature selection with a known-good feature list — the
+  /// paper's Section 5 procedure, where the encrypted evaluation reuses the
+  /// features selected on cleartext data.
+  std::vector<std::string> fixed_features;
+  /// Balance classes by undersampling before training (Section 4.1).
+  bool balance_training = true;
+  std::uint64_t seed = 99;
+};
+
+/// Random-Forest stall severity detector.
+class StallDetector {
+ public:
+  StallDetector() = default;
+
+  /// Trains on a 70-column dataset from build_stall_dataset().
+  static StallDetector train(const ml::Dataset& data,
+                             const ForestDetectorConfig& config = {});
+
+  /// Classifies one session from its operator-visible chunk view.
+  [[nodiscard]] StallLabel classify(std::span<const ChunkObs> chunks) const;
+
+  /// Classifies a precomputed full (70-dim) stall feature vector.
+  [[nodiscard]] StallLabel classify_features(std::span<const double> features) const;
+
+  [[nodiscard]] const std::vector<std::string>& selected_features() const {
+    return selected_;
+  }
+  [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+  [[nodiscard]] bool trained() const { return forest_.trained(); }
+
+  /// Rebuilds a detector from persisted parts (model_io.h). The forest's
+  /// feature layout must equal `selected`, and every name must be a valid
+  /// stall feature.
+  static StallDetector from_parts(ml::RandomForest forest,
+                                  std::vector<std::string> selected);
+
+ private:
+  ml::RandomForest forest_;
+  std::vector<std::string> selected_;
+  std::vector<std::size_t> selected_idx_;  ///< indices into the full 70-dim vector
+};
+
+/// Random-Forest average-representation detector.
+class RepresentationDetector {
+ public:
+  RepresentationDetector() = default;
+
+  /// Trains on a 210-column dataset from build_representation_dataset().
+  static RepresentationDetector train(const ml::Dataset& data,
+                                      const ForestDetectorConfig& config = {});
+
+  [[nodiscard]] ReprLabel classify(std::span<const ChunkObs> chunks) const;
+  [[nodiscard]] ReprLabel classify_features(std::span<const double> features) const;
+
+  [[nodiscard]] const std::vector<std::string>& selected_features() const {
+    return selected_;
+  }
+  [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+  [[nodiscard]] bool trained() const { return forest_.trained(); }
+
+  /// Rebuilds a detector from persisted parts (model_io.h).
+  static RepresentationDetector from_parts(ml::RandomForest forest,
+                                           std::vector<std::string> selected);
+
+ private:
+  ml::RandomForest forest_;
+  std::vector<std::string> selected_;
+  std::vector<std::size_t> selected_idx_;
+};
+
+/// CUSUM-based representation switch detector (eq. 3).
+class SwitchDetector {
+ public:
+  struct Config {
+    double threshold = 500.0;    ///< KB·s, the paper's fixed decision value
+    double skip_initial_s = 10.0;
+  };
+
+  SwitchDetector() = default;
+  explicit SwitchDetector(Config config) : config_(config) {}
+
+  /// Detector statistic STD(CUSUM(Δsize x Δt)); 0 for very short sessions.
+  [[nodiscard]] double score(std::span<const ChunkObs> chunks) const;
+
+  /// True when the session is predicted to contain quality switches.
+  [[nodiscard]] bool detect(std::span<const ChunkObs> chunks) const {
+    return score(chunks) > config_.threshold;
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Threshold that maximizes balanced accuracy between the two score
+  /// populations (used to calibrate the fixed value on training data).
+  [[nodiscard]] static double calibrate_threshold(
+      std::span<const double> scores_without_switches,
+      std::span<const double> scores_with_switches);
+
+ private:
+  Config config_;
+};
+
+}  // namespace vqoe::core

@@ -1,0 +1,82 @@
+// Feature construction (Sections 4.1 and 4.2).
+//
+// The detectors never see ground truth — only the per-chunk transport view
+// an operator gets from encrypted traffic. This header defines that view
+// (ChunkObs) and the two constructed feature sets:
+//
+//  * the stall set: the 10 Table-1 metrics (RTT min/avg/max, BDP, BIF
+//    avg/max, loss %, retransmission %, chunk size, chunk inter-arrival
+//    time) x 7 summary statistics (min/max/mean/std/p25/p50/p75) = 70
+//    features;
+//  * the representation set: 14 metrics — the 10 above with chunk
+//    inter-arrival replaced by its delta, plus the running average chunk
+//    size, the chunk size delta, the running average throughput and the
+//    throughput CUSUM — x 15 statistics (min/mean/max/std and the
+//    5/10/15/20/25/50/75/80/85/90/95th percentiles) = 210 features.
+//
+// Units are chosen once here and used everywhere: sizes in KB, times in
+// seconds, rates in kbit/s, RTT in ms, loss/retransmissions in percent.
+// The switch-detection signal Δsize x Δt is therefore KB·s, which is the
+// unit in which the paper's fixed CUSUM-std threshold of 500 lives.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/net/tcp.h"
+#include "vqoe/session/reconstruct.h"
+#include "vqoe/trace/weblog.h"
+
+namespace vqoe::core {
+
+/// The operator's view of one media chunk download — all that survives
+/// encryption.
+struct ChunkObs {
+  double request_time_s = 0.0;
+  double arrival_time_s = 0.0;
+  double size_bytes = 0.0;
+  net::TransportStats transport;
+
+  [[nodiscard]] double duration_s() const {
+    return arrival_time_s - request_time_s;
+  }
+  /// Application goodput of this chunk in kbit/s.
+  [[nodiscard]] double goodput_kbps() const {
+    const double d = duration_s();
+    return d > 0.0 ? size_bytes * 8.0 / d / 1000.0 : 0.0;
+  }
+};
+
+/// Extracts the chunk view from *media* weblog records (others are
+/// skipped). Works identically on cleartext and encrypted records.
+[[nodiscard]] std::vector<ChunkObs> chunks_from_weblogs(
+    std::span<const trace::WeblogRecord> records);
+
+/// Extracts the chunk view from a reconstructed encrypted session.
+[[nodiscard]] std::vector<ChunkObs> chunks_from_session(
+    const session::ReconstructedSession& session);
+
+/// Names of the 70 stall-detection features, in the order
+/// stall_features() emits values. Naming scheme "<metric>:<stat>", e.g.
+/// "chunk_size:min", "bdp:mean", "retrans:max".
+[[nodiscard]] const std::vector<std::string>& stall_feature_names();
+
+/// The 70-dimensional stall feature vector of a session.
+[[nodiscard]] std::vector<double> stall_features(std::span<const ChunkObs> chunks);
+
+/// Names of the 210 representation-detection features.
+[[nodiscard]] const std::vector<std::string>& representation_feature_names();
+
+/// The 210-dimensional representation feature vector of a session.
+[[nodiscard]] std::vector<double> representation_features(
+    std::span<const ChunkObs> chunks);
+
+/// The switch-detection time series Δsize x Δt (KB·s) over consecutive
+/// chunks, after dropping the first `skip_initial_s` seconds of the session
+/// (the start-up filter of Section 4.3). Empty when fewer than three chunks
+/// remain.
+[[nodiscard]] std::vector<double> switch_signal(std::span<const ChunkObs> chunks,
+                                                double skip_initial_s = 10.0);
+
+}  // namespace vqoe::core

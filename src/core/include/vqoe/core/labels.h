@@ -1,0 +1,62 @@
+// Labelling rules (Sections 4.1-4.3).
+//
+// Ground truth is turned into discrete QoE classes exactly as the paper
+// defines them:
+//
+//  * stalling, from the Rebuffering Ratio RR = Σ t_stall / t_total:
+//      no stalling (RR = 0), mild (0 < RR <= 0.1), severe (RR > 0.1);
+//    the 0.1 boundary is Krishnan & Sitaraman's abandonment threshold;
+//  * average representation, from the session mean resolution μ:
+//      LD (μ < 360), SD (360 <= μ <= 480), HD (μ > 480);
+//  * representation variation, from the switch frequency F and the
+//    normalized switch amplitude A (eq. 2) combined linearly:
+//      none (Var = 0), mild, high.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+
+namespace vqoe::core {
+
+enum class StallLabel : int { no_stalls = 0, mild_stalls = 1, severe_stalls = 2 };
+enum class ReprLabel : int { ld = 0, sd = 1, hd = 2 };
+enum class VariationLabel : int { none = 0, mild = 1, high = 2 };
+
+/// RR boundary between mild and severe stalling (Section 4.1).
+inline constexpr double kSevereRebufferingRatio = 0.1;
+
+/// Resolution boundaries of the RQ rule (Section 4.2), in pixels of height.
+inline constexpr double kSdMinHeight = 360.0;
+inline constexpr double kSdMaxHeight = 480.0;
+
+[[nodiscard]] StallLabel stall_label_from_rr(double rebuffering_ratio);
+[[nodiscard]] ReprLabel repr_label_from_height(double mean_height);
+
+/// Linear combination Var = F + amplitude_weight * A of Section 4.3 and its
+/// thresholds into the three variation classes. The default mild threshold
+/// leaves sessions with a single small-amplitude switch in the "no
+/// variation" class: one early 1-rung correction is imperceptible (and, by
+/// construction, leaves almost no trace in the traffic).
+struct VariationRule {
+  double amplitude_weight = 2.0;
+  double mild_threshold = 1.5;  ///< Var > this -> at least mild
+  double high_threshold = 6.0;  ///< Var > this -> high
+};
+[[nodiscard]] VariationLabel variation_label(std::size_t switch_count,
+                                             double switch_amplitude,
+                                             const VariationRule& rule = {});
+
+/// Class display names in label order (the paper's table rows).
+[[nodiscard]] const std::vector<std::string>& stall_class_names();
+[[nodiscard]] const std::vector<std::string>& repr_class_names();
+[[nodiscard]] const std::vector<std::string>& variation_class_names();
+
+/// Labels straight from ground truth.
+[[nodiscard]] StallLabel stall_label(const trace::SessionGroundTruth& truth);
+[[nodiscard]] ReprLabel repr_label(const trace::SessionGroundTruth& truth);
+[[nodiscard]] VariationLabel variation_label(const trace::SessionGroundTruth& truth,
+                                             const VariationRule& rule = {});
+
+}  // namespace vqoe::core

@@ -1,0 +1,43 @@
+// Model persistence for the QoE framework.
+//
+// The paper's deployment splits training from monitoring (Section 8): the
+// models are built once from labelled data, then "directly applied on the
+// passively monitored traffic". These helpers serialize trained detectors
+// (selected feature list + random forest, or the switch detector's
+// configuration) as plain text, and a whole pipeline as a directory of
+// model files.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/core/pipeline.h"
+
+namespace vqoe::core {
+
+/// Streams a trained stall detector (feature selection + forest).
+void save(const StallDetector& detector, std::ostream& os);
+/// Loads a detector written by save(). Throws std::runtime_error on
+/// malformed input and std::invalid_argument when the stored feature names
+/// are not valid stall features.
+[[nodiscard]] StallDetector load_stall_detector(std::istream& is);
+
+/// Streams a trained representation detector.
+void save(const RepresentationDetector& detector, std::ostream& os);
+[[nodiscard]] RepresentationDetector load_representation_detector(std::istream& is);
+
+/// Streams a switch detector's configuration.
+void save(const SwitchDetector& detector, std::ostream& os);
+[[nodiscard]] SwitchDetector load_switch_detector(std::istream& is);
+
+/// Persists a full pipeline as `stall.model`, `representation.model` and
+/// `switch.model` inside `dir` (created if absent). Untrained detectors are
+/// skipped.
+void save_pipeline(const QoePipeline& pipeline, const std::filesystem::path& dir);
+
+/// Loads a pipeline saved by save_pipeline(). Missing representation/switch
+/// files yield default-constructed detectors; a missing stall model throws.
+[[nodiscard]] QoePipeline load_pipeline(const std::filesystem::path& dir);
+
+}  // namespace vqoe::core

@@ -1,0 +1,76 @@
+// Mean Opinion Score estimation (extension).
+//
+// The paper stops at detecting the three impairment classes; its cited QoE
+// literature goes one step further and maps impairments to a MOS. This
+// header implements that last step so the pipeline can report a single
+// user-facing score:
+//
+//  * the stall/initial-delay core follows Mok, Chan & Chang, "Measuring the
+//    Quality of Experience of HTTP video streaming" (IM 2011) — the paper's
+//    reference [9]:   MOS = 4.23 − 0.0672·L_ti − 0.742·L_fr − 0.106·L_td
+//    with three-level (0/1/2) discretizations of initial delay, rebuffer
+//    frequency and rebuffer duration;
+//  * an average-quality adjustment in the spirit of Lewcio et al. [10]
+//    (lower representations cap the achievable score) and a switching
+//    penalty from Hoßfeld et al. [11].
+//
+// Two entry points: from ground truth (for simulation studies) and from a
+// detected QoeReport (what an operator computes from encrypted traffic).
+#pragma once
+
+#include "vqoe/core/labels.h"
+#include "vqoe/core/pipeline.h"
+#include "vqoe/trace/weblog.h"
+
+namespace vqoe::core {
+
+/// Coefficients and level thresholds of the MOS mapping. Defaults follow
+/// Mok et al. (IM 2011); the quality adjustments are this library's
+/// extension knobs.
+struct MosModel {
+  // Mok et al. regression coefficients.
+  double base = 4.23;
+  double w_initial = 0.0672;
+  double w_stall_frequency = 0.742;
+  double w_stall_duration = 0.106;
+
+  // Level thresholds (level 0 / 1 / 2).
+  double initial_low_s = 1.0;        ///< L_ti = 0 below this
+  double initial_high_s = 5.0;       ///< L_ti = 2 above this
+  double frequency_low_hz = 0.02;    ///< L_fr = 0 below this
+  double frequency_high_hz = 0.15;   ///< L_fr = 2 above this
+  double duration_low_s = 5.0;       ///< L_td = 0 below this (per stall)
+  double duration_high_s = 10.0;     ///< L_td = 2 above this
+
+  // Quality-of-picture adjustments (extension).
+  double ld_penalty = 0.8;           ///< subtracted for LD average quality
+  double sd_penalty = 0.3;           ///< subtracted for SD average quality
+  double switching_penalty = 0.25;   ///< subtracted when switching detected
+
+  double floor = 1.0;                ///< MOS scale bottom
+  double ceil = 5.0;                 ///< MOS scale top (4.23 base + margin)
+};
+
+/// Three-level discretization used by the Mok model.
+[[nodiscard]] int initial_delay_level(double initial_delay_s,
+                                      const MosModel& model = {});
+[[nodiscard]] int stall_frequency_level(int stall_count, double duration_s,
+                                        const MosModel& model = {});
+[[nodiscard]] int stall_duration_level(double total_stall_s, int stall_count,
+                                       const MosModel& model = {});
+
+/// MOS from full ground truth (simulation studies, instrumented clients).
+[[nodiscard]] double mos_from_ground_truth(const trace::SessionGroundTruth& truth,
+                                           const MosModel& model = {});
+
+/// MOS from a detected QoeReport — the operator path. The coarse detected
+/// classes are mapped to representative impairment levels:
+/// no/mild/severe stalling -> (L_fr, L_td) of (0,0)/(1,1)/(2,2);
+/// the detected representation and switching flags apply the quality
+/// adjustments. `startup_delay_estimate_s` feeds L_ti (use
+/// estimate_startup_delay(); pass 0 to skip the initial-delay term).
+[[nodiscard]] double mos_from_report(const QoeReport& report,
+                                     double startup_delay_estimate_s = 0.0,
+                                     const MosModel& model = {});
+
+}  // namespace vqoe::core

@@ -1,0 +1,83 @@
+// Online (streaming) QoE monitoring.
+//
+// Section 8 of the paper: "The trained models can be then directly applied
+// on the passively monitored traffic and report issues in real time."
+// OnlineMonitor is that deployment shape: weblog records are ingested one
+// at a time in timestamp order, session boundaries are recovered
+// incrementally with the same rules as the batch reconstructor
+// (YouTube-host filter, watch-page markers, idle gaps — Section 5.2), and a
+// QoeReport is emitted the moment a session closes.
+//
+// Equivalence with the batch path (session::reconstruct + QoePipeline::
+// assess) is a tested invariant.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vqoe/core/pipeline.h"
+#include "vqoe/session/reconstruct.h"
+
+namespace vqoe::core {
+
+struct OnlineMonitorConfig {
+  session::ReconstructionOptions reconstruction;
+  /// Sessions with fewer media chunks than this are discarded unreported
+  /// (page visits without playback, probe traffic).
+  std::size_t min_chunks = 1;
+};
+
+/// A finished session with its assessed QoE.
+struct CompletedSession {
+  std::string subscriber_id;
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;
+  std::size_t chunk_count = 0;
+  QoeReport report;
+};
+
+/// Incremental reconstruction + assessment over a live record stream.
+/// Not thread-safe; shard by subscriber for parallel deployments.
+class OnlineMonitor {
+ public:
+  /// @param pipeline trained detectors; borrowed, must outlive the monitor.
+  explicit OnlineMonitor(const QoePipeline& pipeline,
+                         OnlineMonitorConfig config = {});
+
+  /// Feeds one record. Records must arrive in non-decreasing timestamp
+  /// order per subscriber. Returns the sessions this record closed
+  /// (usually none or one).
+  std::vector<CompletedSession> ingest(const trace::WeblogRecord& record);
+
+  /// Advances the clock without traffic, closing sessions whose subscriber
+  /// has been idle past the gap.
+  std::vector<CompletedSession> advance_to(double now_s);
+
+  /// End of stream: closes and reports every open session.
+  std::vector<CompletedSession> flush();
+
+  [[nodiscard]] std::size_t open_sessions() const { return open_.size(); }
+  [[nodiscard]] std::size_t sessions_reported() const { return reported_; }
+  [[nodiscard]] std::size_t sessions_discarded() const { return discarded_; }
+
+ private:
+  struct OpenSession {
+    double start_time_s = 0.0;
+    double last_activity_s = 0.0;
+    bool saw_media = false;
+    std::vector<ChunkObs> chunks;
+  };
+
+  /// Closes one subscriber's open session, emitting it when large enough.
+  void close(const std::string& subscriber, std::vector<CompletedSession>& out);
+
+  const QoePipeline& pipeline_;
+  OnlineMonitorConfig config_;
+  std::map<std::string, OpenSession> open_;
+  std::size_t reported_ = 0;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace vqoe::core

@@ -1,0 +1,112 @@
+// End-to-end QoE measurement pipeline.
+//
+// Ties the framework together the way an operator would deploy it
+// (Section 8): train the detectors once on a labelled (cleartext-derived)
+// corpus, then assess any session — cleartext or encrypted, reconstructed
+// or URI-grouped — from its chunk view alone, reporting the three
+// impairment verdicts.
+//
+// Also hosts the evaluation drivers the bench harnesses share: confusion
+// matrices for the two classifiers and the two-population accuracy of the
+// switch detector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/ml/metrics.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::core {
+
+/// One labelled session: the operator-visible chunk view plus ground truth.
+struct SessionRecord {
+  std::vector<ChunkObs> chunks;
+  trace::SessionGroundTruth truth;
+};
+
+/// Builds labelled sessions from a generated corpus by grouping cleartext
+/// weblogs on the URI session ID (the paper's Section 3.3 preparation).
+/// Sessions without media records are dropped.
+[[nodiscard]] std::vector<SessionRecord> sessions_from_corpus(
+    const workload::Corpus& corpus);
+
+/// Builds labelled sessions from *encrypted* weblogs: reconstructs session
+/// boundaries (Section 5.2) and joins the instrumented-client ground truth
+/// by timestamp. Unmatched reconstructions are dropped. Pass the service's
+/// host lists via `options` for non-YouTube corpora.
+[[nodiscard]] std::vector<SessionRecord> sessions_from_encrypted(
+    std::span<const trace::WeblogRecord> encrypted_records,
+    std::span<const trace::SessionGroundTruth> truths,
+    const session::ReconstructionOptions& options = {});
+
+struct PipelineConfig {
+  ForestDetectorConfig stall;
+  ForestDetectorConfig representation;
+  SwitchDetector::Config switches;
+  /// Train the representation detector only on adaptive sessions (the
+  /// paper keeps HAS sessions for the representation/switch models).
+  bool representation_adaptive_only = true;
+};
+
+/// A session's assessed QoE.
+struct QoeReport {
+  StallLabel stall = StallLabel::no_stalls;
+  ReprLabel representation = ReprLabel::ld;
+  bool quality_switches = false;
+  double switch_score = 0.0;  ///< the CUSUM-std statistic behind the verdict
+};
+
+class QoePipeline {
+ public:
+  QoePipeline() = default;
+
+  /// Trains all three detectors on labelled sessions.
+  static QoePipeline train(std::span<const SessionRecord> sessions,
+                           const PipelineConfig& config = {});
+
+  /// Assembles a pipeline from already-trained detectors (model_io.h).
+  static QoePipeline from_parts(StallDetector stall, RepresentationDetector repr,
+                                SwitchDetector switches);
+
+  /// Assesses one session from its chunk view.
+  [[nodiscard]] QoeReport assess(std::span<const ChunkObs> chunks) const;
+
+  [[nodiscard]] const StallDetector& stall_detector() const { return stall_; }
+  [[nodiscard]] const RepresentationDetector& representation_detector() const {
+    return repr_;
+  }
+  [[nodiscard]] const SwitchDetector& switch_detector() const { return switch_; }
+
+ private:
+  StallDetector stall_;
+  RepresentationDetector repr_;
+  SwitchDetector switch_;
+};
+
+/// Confusion matrix of a trained stall detector over labelled sessions.
+[[nodiscard]] ml::ConfusionMatrix evaluate_stall(
+    const StallDetector& detector, std::span<const SessionRecord> sessions);
+
+/// Confusion matrix of a trained representation detector over the adaptive
+/// sessions in `sessions` (non-adaptive ones are skipped when
+/// `adaptive_only`).
+[[nodiscard]] ml::ConfusionMatrix evaluate_representation(
+    const RepresentationDetector& detector,
+    std::span<const SessionRecord> sessions, bool adaptive_only = true);
+
+/// Two-population evaluation of the switch detector (Section 4.3 / 5.6):
+/// the fraction of no-switch sessions scored below the threshold and of
+/// switch sessions scored above it.
+struct SwitchEvaluation {
+  double accuracy_without = 0.0;  ///< no-switch sessions correctly below
+  double accuracy_with = 0.0;     ///< switch sessions correctly above
+  std::size_t sessions_without = 0;
+  std::size_t sessions_with = 0;
+};
+[[nodiscard]] SwitchEvaluation evaluate_switch(
+    const SwitchDetector& detector, std::span<const SessionRecord> sessions,
+    bool adaptive_only = true);
+
+}  // namespace vqoe::core

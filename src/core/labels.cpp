@@ -1,0 +1,56 @@
+#include "vqoe/core/labels.h"
+
+namespace vqoe::core {
+
+StallLabel stall_label_from_rr(double rebuffering_ratio) {
+  if (rebuffering_ratio <= 0.0) return StallLabel::no_stalls;
+  if (rebuffering_ratio <= kSevereRebufferingRatio) return StallLabel::mild_stalls;
+  return StallLabel::severe_stalls;
+}
+
+ReprLabel repr_label_from_height(double mean_height) {
+  if (mean_height < kSdMinHeight) return ReprLabel::ld;
+  if (mean_height <= kSdMaxHeight) return ReprLabel::sd;
+  return ReprLabel::hd;
+}
+
+VariationLabel variation_label(std::size_t switch_count, double switch_amplitude,
+                               const VariationRule& rule) {
+  const double var = static_cast<double>(switch_count) +
+                     rule.amplitude_weight * switch_amplitude;
+  if (var <= rule.mild_threshold) return VariationLabel::none;
+  if (var <= rule.high_threshold) return VariationLabel::mild;
+  return VariationLabel::high;
+}
+
+const std::vector<std::string>& stall_class_names() {
+  static const std::vector<std::string> names{"no stalls", "mild stalls",
+                                              "severe stalls"};
+  return names;
+}
+
+const std::vector<std::string>& repr_class_names() {
+  static const std::vector<std::string> names{"LD", "SD", "HD"};
+  return names;
+}
+
+const std::vector<std::string>& variation_class_names() {
+  static const std::vector<std::string> names{"no variation", "mild variation",
+                                              "high variation"};
+  return names;
+}
+
+StallLabel stall_label(const trace::SessionGroundTruth& truth) {
+  return stall_label_from_rr(truth.rebuffering_ratio);
+}
+
+ReprLabel repr_label(const trace::SessionGroundTruth& truth) {
+  return repr_label_from_height(truth.average_height);
+}
+
+VariationLabel variation_label(const trace::SessionGroundTruth& truth,
+                               const VariationRule& rule) {
+  return variation_label(truth.switch_count, truth.switch_amplitude, rule);
+}
+
+}  // namespace vqoe::core

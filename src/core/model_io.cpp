@@ -1,0 +1,135 @@
+#include "vqoe/core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vqoe::core {
+
+namespace {
+
+void save_forest_detector(const char* tag, const ml::RandomForest& forest,
+                          const std::vector<std::string>& selected,
+                          std::ostream& os) {
+  os << tag << " v1\n";
+  os << "selected " << selected.size() << '\n';
+  for (const std::string& name : selected) os << name << '\n';
+  forest.save(os);
+}
+
+std::pair<ml::RandomForest, std::vector<std::string>> load_forest_detector(
+    const char* tag, std::istream& is) {
+  std::string word, version;
+  if (!(is >> word >> version) || word != tag || version != "v1") {
+    throw std::runtime_error{std::string{"model_io: expected header "} + tag};
+  }
+  std::size_t n = 0;
+  if (!(is >> word >> n) || word != "selected") {
+    throw std::runtime_error{"model_io: missing selected feature list"};
+  }
+  std::vector<std::string> selected(n);
+  for (std::string& name : selected) {
+    if (!(is >> name)) throw std::runtime_error{"model_io: truncated features"};
+  }
+  return {ml::RandomForest::load(is), std::move(selected)};
+}
+
+}  // namespace
+
+void save(const StallDetector& detector, std::ostream& os) {
+  if (!detector.trained()) {
+    throw std::logic_error{"model_io: cannot save untrained StallDetector"};
+  }
+  save_forest_detector("vqoe-stall-detector", detector.forest(),
+                       detector.selected_features(), os);
+}
+
+StallDetector load_stall_detector(std::istream& is) {
+  auto [forest, selected] = load_forest_detector("vqoe-stall-detector", is);
+  return StallDetector::from_parts(std::move(forest), std::move(selected));
+}
+
+void save(const RepresentationDetector& detector, std::ostream& os) {
+  if (!detector.trained()) {
+    throw std::logic_error{
+        "model_io: cannot save untrained RepresentationDetector"};
+  }
+  save_forest_detector("vqoe-representation-detector", detector.forest(),
+                       detector.selected_features(), os);
+}
+
+RepresentationDetector load_representation_detector(std::istream& is) {
+  auto [forest, selected] =
+      load_forest_detector("vqoe-representation-detector", is);
+  return RepresentationDetector::from_parts(std::move(forest),
+                                            std::move(selected));
+}
+
+void save(const SwitchDetector& detector, std::ostream& os) {
+  os << "vqoe-switch-detector v1\n";
+  os.precision(17);
+  os << "threshold " << detector.config().threshold << '\n';
+  os << "skip_initial_s " << detector.config().skip_initial_s << '\n';
+}
+
+SwitchDetector load_switch_detector(std::istream& is) {
+  std::string word, version;
+  if (!(is >> word >> version) || word != "vqoe-switch-detector" ||
+      version != "v1") {
+    throw std::runtime_error{"model_io: bad switch detector header"};
+  }
+  SwitchDetector::Config config;
+  if (!(is >> word >> config.threshold) || word != "threshold") {
+    throw std::runtime_error{"model_io: missing threshold"};
+  }
+  if (!(is >> word >> config.skip_initial_s) || word != "skip_initial_s") {
+    throw std::runtime_error{"model_io: missing skip_initial_s"};
+  }
+  return SwitchDetector{config};
+}
+
+void save_pipeline(const QoePipeline& pipeline, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  auto open = [&](const char* name) {
+    std::ofstream os{dir / name};
+    if (!os) {
+      throw std::runtime_error{"model_io: cannot write " + (dir / name).string()};
+    }
+    return os;
+  };
+  if (pipeline.stall_detector().trained()) {
+    auto os = open("stall.model");
+    save(pipeline.stall_detector(), os);
+  }
+  if (pipeline.representation_detector().trained()) {
+    auto os = open("representation.model");
+    save(pipeline.representation_detector(), os);
+  }
+  {
+    auto os = open("switch.model");
+    save(pipeline.switch_detector(), os);
+  }
+}
+
+QoePipeline load_pipeline(const std::filesystem::path& dir) {
+  StallDetector stall;
+  {
+    std::ifstream is{dir / "stall.model"};
+    if (!is) {
+      throw std::runtime_error{"model_io: missing " +
+                               (dir / "stall.model").string()};
+    }
+    stall = load_stall_detector(is);
+  }
+  RepresentationDetector repr;
+  if (std::ifstream is{dir / "representation.model"}; is) {
+    repr = load_representation_detector(is);
+  }
+  SwitchDetector switches;
+  if (std::ifstream is{dir / "switch.model"}; is) {
+    switches = load_switch_detector(is);
+  }
+  return QoePipeline::from_parts(std::move(stall), std::move(repr), switches);
+}
+
+}  // namespace vqoe::core

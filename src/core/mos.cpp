@@ -1,0 +1,96 @@
+#include "vqoe/core/mos.h"
+
+#include <algorithm>
+
+namespace vqoe::core {
+
+namespace {
+
+int level(double value, double low, double high) {
+  if (value < low) return 0;
+  if (value <= high) return 1;
+  return 2;
+}
+
+double quality_adjustment(ReprLabel representation, bool switching,
+                          const MosModel& model) {
+  double penalty = 0.0;
+  switch (representation) {
+    case ReprLabel::ld:
+      penalty += model.ld_penalty;
+      break;
+    case ReprLabel::sd:
+      penalty += model.sd_penalty;
+      break;
+    case ReprLabel::hd:
+      break;
+  }
+  if (switching) penalty += model.switching_penalty;
+  return penalty;
+}
+
+double clamp_mos(double mos, const MosModel& model) {
+  return std::clamp(mos, model.floor, model.ceil);
+}
+
+}  // namespace
+
+int initial_delay_level(double initial_delay_s, const MosModel& model) {
+  return level(initial_delay_s, model.initial_low_s, model.initial_high_s);
+}
+
+int stall_frequency_level(int stall_count, double duration_s,
+                          const MosModel& model) {
+  if (stall_count <= 0 || duration_s <= 0.0) return 0;
+  const double hz = static_cast<double>(stall_count) / duration_s;
+  return level(hz, model.frequency_low_hz, model.frequency_high_hz);
+}
+
+int stall_duration_level(double total_stall_s, int stall_count,
+                         const MosModel& model) {
+  if (stall_count <= 0) return 0;
+  const double per_stall = total_stall_s / static_cast<double>(stall_count);
+  return level(per_stall, model.duration_low_s, model.duration_high_s);
+}
+
+double mos_from_ground_truth(const trace::SessionGroundTruth& truth,
+                             const MosModel& model) {
+  const int l_ti = initial_delay_level(truth.startup_delay_s, model);
+  const int l_fr =
+      stall_frequency_level(truth.stall_count, truth.total_duration_s, model);
+  const int l_td =
+      stall_duration_level(truth.stall_duration_s, truth.stall_count, model);
+
+  double mos = model.base - model.w_initial * l_ti -
+               model.w_stall_frequency * l_fr - model.w_stall_duration * l_td;
+  mos -= quality_adjustment(repr_label_from_height(truth.average_height),
+                            variation_label(truth) != VariationLabel::none,
+                            model);
+  return clamp_mos(mos, model);
+}
+
+double mos_from_report(const QoeReport& report,
+                       double startup_delay_estimate_s, const MosModel& model) {
+  const int l_ti = initial_delay_level(startup_delay_estimate_s, model);
+  int l_fr = 0;
+  int l_td = 0;
+  switch (report.stall) {
+    case StallLabel::no_stalls:
+      break;
+    case StallLabel::mild_stalls:
+      l_fr = 1;
+      l_td = 1;
+      break;
+    case StallLabel::severe_stalls:
+      l_fr = 2;
+      l_td = 2;
+      break;
+  }
+  double mos = model.base - model.w_initial * l_ti -
+               model.w_stall_frequency * l_fr - model.w_stall_duration * l_td;
+  mos -= quality_adjustment(report.representation, report.quality_switches,
+                            model);
+  return clamp_mos(mos, model);
+}
+
+}  // namespace vqoe::core

@@ -1,0 +1,98 @@
+#include "vqoe/core/online.h"
+
+#include <algorithm>
+
+namespace vqoe::core {
+
+OnlineMonitor::OnlineMonitor(const QoePipeline& pipeline,
+                             OnlineMonitorConfig config)
+    : pipeline_(pipeline), config_(config) {}
+
+void OnlineMonitor::close(const std::string& subscriber,
+                          std::vector<CompletedSession>& out) {
+  const auto it = open_.find(subscriber);
+  if (it == open_.end()) return;
+  OpenSession session = std::move(it->second);
+  open_.erase(it);
+  if (session.chunks.size() < config_.min_chunks || !session.saw_media) {
+    ++discarded_;
+    return;
+  }
+  CompletedSession done;
+  done.subscriber_id = subscriber;
+  done.start_time_s = session.start_time_s;
+  done.end_time_s = session.last_activity_s;
+  done.chunk_count = session.chunks.size();
+  done.report = pipeline_.assess(session.chunks);
+  ++reported_;
+  out.push_back(std::move(done));
+}
+
+std::vector<CompletedSession> OnlineMonitor::ingest(
+    const trace::WeblogRecord& record) {
+  std::vector<CompletedSession> completed;
+  if (!config_.reconstruction.is_service(record.host)) return completed;
+
+  const bool media =
+      config_.reconstruction.is_cdn(record.host) &&
+      record.object_size_bytes >= config_.reconstruction.min_media_bytes;
+  const bool marker = config_.reconstruction.use_page_markers &&
+                      config_.reconstruction.is_page_marker(record.host);
+
+  auto it = open_.find(record.subscriber_id);
+  if (it != open_.end()) {
+    const OpenSession& session = it->second;
+    // Step 3 of Section 5.2: a long silent gap ends the previous session.
+    if (record.timestamp_s - session.last_activity_s >
+        config_.reconstruction.idle_gap_s) {
+      close(record.subscriber_id, completed);
+      it = open_.end();
+    } else if (marker && session.saw_media) {
+      // Step 2: a fresh watch page while media was flowing.
+      close(record.subscriber_id, completed);
+      it = open_.end();
+    }
+  }
+  if (it == open_.end()) {
+    OpenSession fresh;
+    fresh.start_time_s = record.timestamp_s;
+    it = open_.emplace(record.subscriber_id, std::move(fresh)).first;
+  }
+
+  OpenSession& session = it->second;
+  session.last_activity_s =
+      std::max(session.last_activity_s, record.arrival_time_s());
+  if (media) {
+    session.saw_media = true;
+    ChunkObs chunk;
+    chunk.request_time_s = record.timestamp_s;
+    chunk.arrival_time_s = record.arrival_time_s();
+    chunk.size_bytes = static_cast<double>(record.object_size_bytes);
+    chunk.transport = record.transport;
+    session.chunks.push_back(chunk);
+  }
+  return completed;
+}
+
+std::vector<CompletedSession> OnlineMonitor::advance_to(double now_s) {
+  std::vector<CompletedSession> completed;
+  std::vector<std::string> expired;
+  for (const auto& [subscriber, session] : open_) {
+    if (now_s - session.last_activity_s > config_.reconstruction.idle_gap_s) {
+      expired.push_back(subscriber);
+    }
+  }
+  for (const std::string& subscriber : expired) close(subscriber, completed);
+  return completed;
+}
+
+std::vector<CompletedSession> OnlineMonitor::flush() {
+  std::vector<CompletedSession> completed;
+  std::vector<std::string> all;
+  all.reserve(open_.size());
+  for (const auto& [subscriber, session] : open_) all.push_back(subscriber);
+  for (const std::string& subscriber : all) close(subscriber, completed);
+  return completed;
+}
+
+}  // namespace vqoe::core

@@ -1,0 +1,45 @@
+#include "vqoe/core/startup.h"
+
+#include <algorithm>
+
+#include "vqoe/ts/cusum.h"
+#include "vqoe/ts/summary.h"
+
+namespace vqoe::core {
+
+double estimate_startup_delay(std::span<const ChunkObs> chunks,
+                              const StartupEstimatorConfig& config) {
+  if (chunks.size() < 3) return 0.0;
+
+  std::vector<double> sizes, arrivals;
+  sizes.reserve(chunks.size());
+  for (const ChunkObs& c : chunks) {
+    sizes.push_back(c.size_bytes);
+    arrivals.push_back(c.arrival_time_s);
+  }
+  const auto dts = ts::deltas(arrivals);
+
+  // Calibrate bytes -> media seconds from the steady state: in steady
+  // pacing one chunk of media is consumed per inter-arrival interval.
+  const double steady_dt = ts::percentile(dts, config.steady_dt_percentile);
+  const double steady_size = ts::percentile(sizes, config.steady_size_percentile);
+  if (steady_dt <= 0.0 || steady_size <= 0.0) return 0.0;
+  const double media_s_per_byte = steady_dt / steady_size;
+
+  const double t0 = chunks.front().request_time_s;
+  double buffered_media_s = 0.0;
+  for (const ChunkObs& c : chunks) {
+    buffered_media_s += c.size_bytes * media_s_per_byte;
+    // Media already consumed if playback had started at the threshold is
+    // ignored: before start nothing is consumed, which is the window this
+    // estimator cares about.
+    if (buffered_media_s >= config.assumed_threshold_s) {
+      return std::max(0.0, c.arrival_time_s - t0);
+    }
+  }
+  // Buffer never reached the threshold (tiny or truncated session): the
+  // start is bounded by the last arrival.
+  return std::max(0.0, chunks.back().arrival_time_s - t0);
+}
+
+}  // namespace vqoe::core

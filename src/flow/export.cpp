@@ -1,0 +1,105 @@
+#include "vqoe/flow/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace vqoe::flow {
+
+namespace {
+
+struct SliceAccumulator {
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+};
+
+}  // namespace
+
+std::vector<FlowSlice> export_flows(std::span<const trace::WeblogRecord> records,
+                                    const FlowExportOptions& options) {
+  // Sort record pointers by time so connection idle-timeout bookkeeping is
+  // well defined regardless of input order.
+  std::vector<const trace::WeblogRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const auto& r : records) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const trace::WeblogRecord* a, const trace::WeblogRecord* b) {
+                     return a->timestamp_s < b->timestamp_s;
+                   });
+
+  // Connection instances per (subscriber, host); each open connection owns
+  // its own slice accumulator so the hot loop never touches string keys.
+  struct FlowData {
+    FlowKey key;
+    std::map<std::int64_t, SliceAccumulator> slices;
+  };
+  struct ConnState {
+    std::uint32_t connection_id = 0;
+    double last_activity_s = -1e18;
+    std::size_t flow_index = 0;
+  };
+  std::map<std::pair<std::string, std::string>, ConnState> connections;
+  std::vector<FlowData> flows;
+
+  const double slice = std::max(options.slice_s, 1e-3);
+  for (const trace::WeblogRecord* r : sorted) {
+    ConnState& conn = connections[{r->subscriber_id, r->host}];
+    if (conn.last_activity_s < -1e17 ||
+        r->timestamp_s - conn.last_activity_s > options.idle_timeout_s) {
+      ++conn.connection_id;  // TCP connection re-opened
+      conn.flow_index = flows.size();
+      flows.push_back(
+          {FlowKey{r->subscriber_id, r->host, conn.connection_id}, {}});
+    }
+    conn.last_activity_s = std::max(conn.last_activity_s, r->arrival_time_s());
+    auto& flow_slices = flows[conn.flow_index].slices;
+
+    // Upstream: the HTTP request plus ~1 ACK per 2 MSS of response.
+    const double request_bytes =
+        450.0 + static_cast<double>(r->object_size_bytes) /
+                    (2.0 * options.mss_bytes) * 66.0;
+    const auto req_idx =
+        static_cast<std::int64_t>(std::floor(r->timestamp_s / slice));
+    flow_slices[req_idx].bytes_up += static_cast<std::uint64_t>(request_bytes);
+
+    // Downstream: response bytes spread uniformly over the transfer window.
+    const double t0 = r->timestamp_s;
+    const double t1 = std::max(r->arrival_time_s(), t0 + 1e-6);
+    const double span_s = t1 - t0;
+    const auto first =
+        static_cast<std::int64_t>(std::floor(t0 / slice));
+    const auto last = static_cast<std::int64_t>(std::floor((t1 - 1e-9) / slice));
+    for (std::int64_t idx = first; idx <= last; ++idx) {
+      const double window_start = std::max(t0, static_cast<double>(idx) * slice);
+      const double window_end =
+          std::min(t1, static_cast<double>(idx + 1) * slice);
+      const double share = (window_end - window_start) / span_s;
+      flow_slices[idx].bytes_down += static_cast<std::uint64_t>(
+          std::llround(share * static_cast<double>(r->object_size_bytes)));
+    }
+  }
+
+  std::vector<FlowSlice> out;
+  std::size_t total = 0;
+  for (const FlowData& flow : flows) total += flow.slices.size();
+  out.reserve(total);
+  for (const FlowData& flow : flows) {
+    for (const auto& [idx, acc] : flow.slices) {
+      if (acc.bytes_down == 0 && acc.bytes_up == 0) continue;
+      FlowSlice s;
+      s.key = flow.key;
+      s.start_s = static_cast<double>(idx) * slice;
+      s.end_s = s.start_s + slice;
+      s.bytes_down = acc.bytes_down;
+      s.bytes_up = acc.bytes_up;
+      s.packets_down = static_cast<std::uint32_t>(
+          std::ceil(static_cast<double>(acc.bytes_down) / options.mss_bytes));
+      s.packets_up = static_cast<std::uint32_t>(
+          std::ceil(static_cast<double>(acc.bytes_up) / 66.0));
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace vqoe::flow

@@ -1,0 +1,63 @@
+// Flow-record export: the NetFlow/IPFIX view of video traffic.
+//
+// The paper's vantage point is an HTTP proxy that logs one record per
+// transaction. Many operators only have flow-level export: per-connection
+// byte/packet counters sampled on a fixed interval. This module synthesizes
+// that view from proxy weblogs — each HTTP transaction's response bytes are
+// spread over its transfer window and accumulated into time-aligned slices
+// of the underlying (persistent) connection — so the degraded-observability
+// experiment (bench/ext_flow_view) can ask: how much QoE visibility
+// survives when the operator sees flows instead of transactions?
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+
+namespace vqoe::flow {
+
+/// Connection identity as a flow exporter sees it (5-tuple reduced to what
+/// matters here: subscriber, server, connection instance).
+struct FlowKey {
+  std::string subscriber_id;
+  std::string server_host;
+  std::uint32_t connection_id = 0;  ///< increments when the connection re-opens
+
+  [[nodiscard]] auto operator<=>(const FlowKey&) const = default;
+};
+
+/// One export interval of one flow.
+struct FlowSlice {
+  FlowKey key;
+  double start_s = 0.0;  ///< slice window [start, start + slice_s)
+  double end_s = 0.0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint32_t packets_down = 0;
+  std::uint32_t packets_up = 0;
+};
+
+struct FlowExportOptions {
+  /// Export granularity: counters are accumulated per this interval. 0.1 s
+  /// approximates a packet tap; 1-2 s is typical router export.
+  double slice_s = 1.0;
+  /// Connection idle timeout: a transaction starting after this much
+  /// silence on the same (subscriber, host) pair opens a new connection.
+  double idle_timeout_s = 15.0;
+  /// MSS used to derive packet counts from byte counts.
+  double mss_bytes = 1448.0;
+};
+
+/// Converts proxy weblogs into flow slices. Response bytes are spread
+/// uniformly over each transaction's transfer window; request/ACK overhead
+/// appears as upstream bytes. Slices are returned grouped by flow (stable
+/// key order), time-ascending within each flow, and only cover intervals
+/// with traffic.
+[[nodiscard]] std::vector<FlowSlice> export_flows(
+    std::span<const trace::WeblogRecord> records,
+    const FlowExportOptions& options = {});
+
+}  // namespace vqoe::flow

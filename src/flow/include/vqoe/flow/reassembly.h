@@ -1,0 +1,48 @@
+// Burst reassembly: recovering HTTP transactions from flow slices.
+//
+// A video chunk download appears on the wire as a downstream byte burst
+// bounded by quiet periods (the player's pacing / think time). This module
+// segments each flow's slice sequence into bursts and renders them back as
+// pseudo weblog records so the rest of the framework — session
+// reconstruction, feature construction, detectors — runs unchanged on
+// flow-level input. Timing precision (and with it feature quality) is
+// limited by the export granularity; bench/ext_flow_view quantifies the
+// cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vqoe/flow/export.h"
+
+namespace vqoe::flow {
+
+struct BurstOptions {
+  /// A gap of at least this many seconds with no downstream bytes ends the
+  /// current burst. Must be >= the export slice to be meaningful.
+  double quiet_gap_s = 2.0;
+  /// Bursts smaller than this are dropped (keep-alives, control chatter).
+  std::uint64_t min_burst_bytes = 4'000;
+};
+
+/// One recovered transaction-like burst.
+struct Burst {
+  FlowKey key;
+  double start_s = 0.0;  ///< start of the first contributing slice
+  double end_s = 0.0;    ///< end of the last contributing slice
+  std::uint64_t bytes = 0;
+};
+
+/// Segments flow slices (any order, any number of flows) into per-flow
+/// bursts, time-ascending per flow.
+[[nodiscard]] std::vector<Burst> segment_bursts(
+    std::span<const FlowSlice> slices, const BurstOptions& options = {});
+
+/// Renders bursts as media-like weblog records (host and subscriber from
+/// the flow key; no URI metadata, transport annotations zeroed) so
+/// session::reconstruct and the detectors consume them directly. This is
+/// the flow-level analogue of the encrypted proxy view.
+[[nodiscard]] std::vector<trace::WeblogRecord> bursts_to_weblogs(
+    std::span<const Burst> bursts);
+
+}  // namespace vqoe::flow

@@ -1,0 +1,73 @@
+#include "vqoe/flow/reassembly.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace vqoe::flow {
+
+std::vector<Burst> segment_bursts(std::span<const FlowSlice> slices,
+                                  const BurstOptions& options) {
+  // Sort once by (flow, time); one linear scan then segments every flow.
+  std::vector<const FlowSlice*> sorted;
+  sorted.reserve(slices.size());
+  for (const FlowSlice& s : slices) {
+    if (s.bytes_down == 0) continue;  // upstream-only chatter
+    sorted.push_back(&s);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FlowSlice* a, const FlowSlice* b) {
+                     if (a->key != b->key) return a->key < b->key;
+                     return a->start_s < b->start_s;
+                   });
+
+  std::vector<Burst> bursts;
+  Burst current;
+  bool open = false;
+  auto close = [&]() {
+    if (open && current.bytes >= options.min_burst_bytes) {
+      bursts.push_back(current);
+    }
+    open = false;
+  };
+  for (const FlowSlice* s : sorted) {
+    const bool same_flow = open && s->key == current.key;
+    if (open &&
+        (!same_flow || s->start_s - current.end_s >= options.quiet_gap_s)) {
+      close();
+    }
+    if (!open) {
+      current = Burst{};
+      current.key = s->key;
+      current.start_s = s->start_s;
+      open = true;
+    }
+    current.end_s = std::max(current.end_s, s->end_s);
+    current.bytes += s->bytes_down;
+  }
+  close();
+  return bursts;
+}
+
+std::vector<trace::WeblogRecord> bursts_to_weblogs(std::span<const Burst> bursts) {
+  std::vector<trace::WeblogRecord> out;
+  out.reserve(bursts.size());
+  for (const Burst& b : bursts) {
+    trace::WeblogRecord r;
+    r.subscriber_id = b.key.subscriber_id;
+    r.host = b.key.server_host;
+    r.timestamp_s = b.start_s;
+    r.transaction_time_s = std::max(1e-3, b.end_s - b.start_s);
+    r.object_size_bytes = b.bytes;
+    r.kind = trace::RecordKind::media;
+    r.encrypted = true;  // flow export never sees URIs
+    out.push_back(std::move(r));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const trace::WeblogRecord& a, const trace::WeblogRecord& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return out;
+}
+
+}  // namespace vqoe::flow

@@ -1,0 +1,101 @@
+#include "vqoe/ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "vqoe/ml/binning.h"
+
+namespace vqoe::ml {
+
+AdaBoost AdaBoost::fit(const Dataset& data, const AdaBoostParams& params) {
+  if (data.empty()) throw std::invalid_argument{"AdaBoost::fit: empty dataset"};
+  if (params.rounds <= 0) {
+    throw std::invalid_argument{"AdaBoost::fit: rounds must be > 0"};
+  }
+
+  AdaBoost model;
+  model.feature_names_ = data.feature_names();
+  model.num_classes_ = data.num_classes();
+  const double k = static_cast<double>(data.num_classes());
+  const std::size_t n = data.rows();
+
+  const BinnedMatrix binned = BinnedMatrix::build(data);
+  TreeParams tree_params;
+  tree_params.max_depth = params.max_depth;
+  tree_params.mtry = 0;  // weak learners see all features
+
+  std::mt19937_64 rng{params.seed};
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  std::vector<std::size_t> sample(n);
+
+  int failed_rounds = 0;
+  for (int round = 0; static_cast<int>(model.learners_.size()) < params.rounds;
+       ++round) {
+    if (failed_rounds > 10) break;  // cannot find a useful weak learner
+
+    // Boosting by resampling: draw a bootstrap proportional to weights.
+    std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+    for (std::size_t i = 0; i < n; ++i) sample[i] = pick(rng);
+
+    DecisionTree learner = DecisionTree::fit(data, binned, sample, tree_params,
+                                             rng, model.num_classes_);
+
+    // Weighted training error of this learner.
+    double error = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (learner.predict(data.row(i)) != data.label(i)) error += weights[i];
+    }
+
+    if (error <= 1e-12) {
+      // Perfect learner: dominate the vote and stop.
+      model.learners_.push_back(std::move(learner));
+      model.alphas_.push_back(10.0 + std::log(k - 1.0 + 1e-12));
+      break;
+    }
+    if (error >= (k - 1.0) / k) {
+      ++failed_rounds;  // worse than chance: discard and retry
+      continue;
+    }
+    failed_rounds = 0;
+
+    const double alpha =
+        std::log((1.0 - error) / error) + std::log(std::max(1.0, k - 1.0));
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (learner.predict(data.row(i)) != data.label(i)) {
+        weights[i] *= std::exp(alpha);
+      }
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+
+    model.learners_.push_back(std::move(learner));
+    model.alphas_.push_back(alpha);
+  }
+
+  if (model.learners_.empty()) {
+    // Degenerate data (e.g. single class): keep one unweighted learner so
+    // predict() still works.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    model.learners_.push_back(DecisionTree::fit(data, binned, all, tree_params,
+                                                rng, model.num_classes_));
+    model.alphas_.push_back(1.0);
+  }
+  return model;
+}
+
+int AdaBoost::predict(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error{"AdaBoost: not trained"};
+  std::vector<double> votes(num_classes_, 0.0);
+  for (std::size_t i = 0; i < learners_.size(); ++i) {
+    votes[static_cast<std::size_t>(learners_[i].predict(features))] +=
+        alphas_[i];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace vqoe::ml

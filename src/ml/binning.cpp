@@ -1,0 +1,58 @@
+#include "vqoe/ml/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+BinnedMatrix BinnedMatrix::build(const Dataset& d, int max_bins) {
+  if (max_bins < 2 || max_bins > 256) {
+    throw std::invalid_argument{"BinnedMatrix: max_bins out of [2,256]"};
+  }
+  BinnedMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  m.bins_.assign(m.rows_ * m.cols_, 0);
+  m.boundaries_.resize(m.cols_);
+
+  std::vector<double> sorted;
+  for (std::size_t c = 0; c < m.cols_; ++c) {
+    sorted = d.column(c);
+    std::sort(sorted.begin(), sorted.end());
+
+    // Candidate boundaries at equal-frequency quantiles; midpoints between
+    // adjacent distinct values keep thresholds strictly between data points.
+    auto& bounds = m.boundaries_[c];
+    bounds.clear();
+    if (!sorted.empty() && sorted.front() != sorted.back()) {
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t idx = static_cast<std::size_t>(
+            static_cast<double>(b) * static_cast<double>(sorted.size()) /
+            static_cast<double>(max_bins));
+        if (idx == 0 || idx >= sorted.size()) continue;
+        const double lo = sorted[idx - 1];
+        const double hi = sorted[idx];
+        if (hi > lo) {
+          const double cut = lo + (hi - lo) / 2.0;
+          if (bounds.empty() || cut > bounds.back()) bounds.push_back(cut);
+        }
+      }
+      // Ensure distinct extremes still split when quantile cuts collapsed
+      // (heavily skewed columns).
+      if (bounds.empty()) {
+        bounds.push_back(sorted.front() + (sorted.back() - sorted.front()) / 2.0);
+      }
+    }
+
+    for (std::size_t r = 0; r < m.rows_; ++r) {
+      const double v = d.at(r, c);
+      const auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+      m.bins_[c * m.rows_ + r] =
+          static_cast<std::uint8_t>(it - bounds.begin());
+    }
+  }
+  return m;
+}
+
+}  // namespace vqoe::ml

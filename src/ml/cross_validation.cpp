@@ -1,0 +1,69 @@
+#include "vqoe/ml/cross_validation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       int k,
+                                                       std::mt19937_64& rng) {
+  if (k < 2) throw std::invalid_argument{"stratified_folds: k must be >= 2"};
+  std::vector<std::vector<std::size_t>> by_class(data.num_classes());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    by_class[static_cast<std::size_t>(data.label(i))].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  std::size_t next = 0;
+  for (auto& cls : by_class) {
+    std::shuffle(cls.begin(), cls.end(), rng);
+    for (std::size_t idx : cls) {
+      folds[next % static_cast<std::size_t>(k)].push_back(idx);
+      ++next;
+    }
+  }
+  return folds;
+}
+
+ConfusionMatrix cross_validate_with(
+    const Dataset& data,
+    const std::function<std::function<int(std::span<const double>)>(const Dataset&)>& train,
+    const CrossValidationOptions& options) {
+  std::mt19937_64 rng{options.seed};
+  const auto folds = stratified_folds(data, options.folds, rng);
+
+  ConfusionMatrix cm{data.class_names()};
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
+    }
+    Dataset train_set = data.select_rows(train_idx);
+    if (options.balance_training) {
+      train_set = train_set.balanced_undersample(rng);
+    }
+    if (train_set.empty()) continue;
+    const auto predictor = train(train_set);
+    for (std::size_t idx : folds[f]) {
+      cm.add(data.label(idx), predictor(data.row(idx)));
+    }
+  }
+  return cm;
+}
+
+ConfusionMatrix cross_validate(const Dataset& data,
+                               const ForestParams& forest_params,
+                               const CrossValidationOptions& options) {
+  return cross_validate_with(
+      data,
+      [&forest_params](const Dataset& train_set) {
+        auto forest = RandomForest::fit(train_set, forest_params);
+        return [forest = std::move(forest)](std::span<const double> x) {
+          return forest.predict(x);
+        };
+      },
+      options);
+}
+
+}  // namespace vqoe::ml

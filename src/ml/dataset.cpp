@@ -1,0 +1,146 @@
+#include "vqoe/ml/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vqoe::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names,
+                 std::vector<std::string> class_names)
+    : feature_names_(std::move(feature_names)),
+      class_names_(std::move(class_names)) {
+  std::unordered_set<std::string> seen;
+  for (const auto& n : feature_names_) {
+    if (!seen.insert(n).second) {
+      throw std::invalid_argument{"Dataset: duplicate feature name: " + n};
+    }
+  }
+}
+
+void Dataset::add(std::vector<double> row, int label) {
+  if (row.size() != cols()) {
+    throw std::invalid_argument{"Dataset::add: row width mismatch"};
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes()) {
+    throw std::invalid_argument{"Dataset::add: label out of range"};
+  }
+  x_.insert(x_.end(), row.begin(), row.end());
+  labels_.push_back(label);
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  const auto it = std::find(feature_names_.begin(), feature_names_.end(), name);
+  if (it == feature_names_.end()) {
+    throw std::out_of_range{"Dataset: no feature named " + name};
+  }
+  return static_cast<std::size_t>(it - feature_names_.begin());
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  return {x_.data() + i * cols(), cols()};
+}
+
+std::vector<double> Dataset::column(std::size_t col) const {
+  std::vector<double> out;
+  out.reserve(rows());
+  for (std::size_t r = 0; r < rows(); ++r) out.push_back(at(r, col));
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (int y : labels_) counts[static_cast<std::size_t>(y)]++;
+  return counts;
+}
+
+Dataset Dataset::project(std::span<const std::string> names) const {
+  std::vector<std::size_t> idx;
+  idx.reserve(names.size());
+  for (const auto& n : names) idx.push_back(feature_index(n));
+
+  Dataset out{{names.begin(), names.end()}, class_names_};
+  std::vector<double> row_buf(names.size());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < idx.size(); ++c) row_buf[c] = at(r, idx[c]);
+    out.add(row_buf, labels_[r]);
+  }
+  return out;
+}
+
+Dataset Dataset::select_rows(std::span<const std::size_t> indices) const {
+  Dataset out{feature_names_, class_names_};
+  for (std::size_t i : indices) {
+    const auto r = row(i);
+    out.add({r.begin(), r.end()}, labels_[i]);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::vector<std::size_t>> indices_by_class(const Dataset& d) {
+  std::vector<std::vector<std::size_t>> by_class(d.num_classes());
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    by_class[static_cast<std::size_t>(d.label(i))].push_back(i);
+  }
+  return by_class;
+}
+
+}  // namespace
+
+Dataset Dataset::balanced_undersample(std::mt19937_64& rng) const {
+  auto by_class = indices_by_class(*this);
+  std::size_t target = rows();
+  for (const auto& c : by_class) {
+    if (!c.empty()) target = std::min(target, c.size());
+  }
+  std::vector<std::size_t> keep;
+  for (auto& c : by_class) {
+    std::shuffle(c.begin(), c.end(), rng);
+    keep.insert(keep.end(), c.begin(),
+                c.begin() + static_cast<std::ptrdiff_t>(std::min(c.size(), target)));
+  }
+  std::shuffle(keep.begin(), keep.end(), rng);
+  return select_rows(keep);
+}
+
+Dataset Dataset::balanced_oversample(std::mt19937_64& rng) const {
+  auto by_class = indices_by_class(*this);
+  std::size_t target = 0;
+  for (const auto& c : by_class) target = std::max(target, c.size());
+  std::vector<std::size_t> keep;
+  for (const auto& c : by_class) {
+    if (c.empty()) continue;
+    keep.insert(keep.end(), c.begin(), c.end());
+    std::uniform_int_distribution<std::size_t> pick(0, c.size() - 1);
+    for (std::size_t i = c.size(); i < target; ++i) keep.push_back(c[pick(rng)]);
+  }
+  std::shuffle(keep.begin(), keep.end(), rng);
+  return select_rows(keep);
+}
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double test_fraction,
+                                                      std::mt19937_64& rng) const {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    throw std::invalid_argument{"stratified_split: fraction out of [0,1]"};
+  }
+  auto by_class = indices_by_class(*this);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (auto& c : by_class) {
+    std::shuffle(c.begin(), c.end(), rng);
+    std::size_t n_test =
+        static_cast<std::size_t>(test_fraction * static_cast<double>(c.size()));
+    if (n_test == 0 && c.size() >= 2 && test_fraction > 0.0) n_test = 1;
+    test_idx.insert(test_idx.end(), c.begin(),
+                    c.begin() + static_cast<std::ptrdiff_t>(n_test));
+    train_idx.insert(train_idx.end(),
+                     c.begin() + static_cast<std::ptrdiff_t>(n_test), c.end());
+  }
+  std::shuffle(train_idx.begin(), train_idx.end(), rng);
+  std::shuffle(test_idx.begin(), test_idx.end(), rng);
+  return {select_rows(train_idx), select_rows(test_idx)};
+}
+
+}  // namespace vqoe::ml

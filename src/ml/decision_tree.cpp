@@ -1,0 +1,332 @@
+#include "vqoe/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <istream>
+#include <string>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+namespace {
+
+// Gini impurity of a class-count histogram with `total` samples.
+double gini(std::span<const std::uint32_t> counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::uint32_t c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+struct BuildFrame {
+  std::size_t begin;
+  std::size_t end;
+  int depth;
+  std::int32_t node_index;
+};
+
+}  // namespace
+
+DecisionTree DecisionTree::fit(const Dataset& data, const BinnedMatrix& binned,
+                               std::span<const std::size_t> row_indices,
+                               const TreeParams& params, std::mt19937_64& rng,
+                               std::size_t num_classes) {
+  if (binned.rows() != data.rows() || binned.cols() != data.cols()) {
+    throw std::invalid_argument{"DecisionTree::fit: binned matrix mismatch"};
+  }
+  if (row_indices.empty()) {
+    throw std::invalid_argument{"DecisionTree::fit: empty training sample"};
+  }
+
+  DecisionTree tree;
+  tree.num_classes_ = num_classes;
+  tree.importance_.assign(data.cols(), 0.0);
+
+  const std::size_t ncls = num_classes;
+  const std::size_t ncols = data.cols();
+  const int mtry_all = static_cast<int>(ncols);
+  int mtry = params.mtry;
+  if (mtry <= 0 || mtry > mtry_all) mtry = mtry_all;
+
+  // Workspace: the row indices are partitioned in place as the tree grows.
+  std::vector<std::size_t> rows(row_indices.begin(), row_indices.end());
+  std::vector<std::size_t> feature_pool(ncols);
+  std::iota(feature_pool.begin(), feature_pool.end(), 0);
+
+  // Per-node scratch: class counts per bin for the feature being scanned.
+  constexpr int kMaxBins = 256;
+  std::vector<std::uint32_t> bin_counts(static_cast<std::size_t>(kMaxBins) * ncls);
+  std::vector<std::uint32_t> node_counts(ncls);
+  std::vector<std::uint32_t> left_counts(ncls);
+
+  std::vector<BuildFrame> stack;
+  tree.nodes_.emplace_back();
+  stack.push_back({0, rows.size(), 0, 0});
+
+  auto make_leaf = [&](std::int32_t node_index, std::size_t begin, std::size_t end) {
+    Node& node = tree.nodes_[static_cast<std::size_t>(node_index)];
+    node.feature = -1;
+    node.proba_offset = static_cast<std::int32_t>(tree.probas_.size());
+    std::fill(node_counts.begin(), node_counts.end(), 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      node_counts[static_cast<std::size_t>(data.label(rows[i]))]++;
+    }
+    const double total = static_cast<double>(end - begin);
+    for (std::size_t c = 0; c < ncls; ++c) {
+      tree.probas_.push_back(static_cast<double>(node_counts[c]) / total);
+    }
+  };
+
+  while (!stack.empty()) {
+    const BuildFrame frame = stack.back();
+    stack.pop_back();
+    const std::size_t n = frame.end - frame.begin;
+
+    std::fill(node_counts.begin(), node_counts.end(), 0);
+    for (std::size_t i = frame.begin; i < frame.end; ++i) {
+      node_counts[static_cast<std::size_t>(data.label(rows[i]))]++;
+    }
+    const double node_total = static_cast<double>(n);
+    const double node_gini = gini(node_counts, node_total);
+
+    const bool pure = std::count_if(node_counts.begin(), node_counts.end(),
+                                    [](std::uint32_t c) { return c > 0; }) <= 1;
+    if (pure || frame.depth >= params.max_depth || n < params.min_samples_split) {
+      make_leaf(frame.node_index, frame.begin, frame.end);
+      continue;
+    }
+
+    // Sample candidate features without replacement (partial Fisher-Yates).
+    for (int f = 0; f < mtry; ++f) {
+      std::uniform_int_distribution<std::size_t> pick(static_cast<std::size_t>(f),
+                                                      ncols - 1);
+      std::swap(feature_pool[static_cast<std::size_t>(f)], feature_pool[pick(rng)]);
+    }
+
+    double best_gain = 1e-12;
+    std::size_t best_feature = 0;
+    int best_bin = -1;
+
+    for (int f = 0; f < mtry; ++f) {
+      const std::size_t col = feature_pool[static_cast<std::size_t>(f)];
+      const int nbins = binned.bin_count(col);
+      if (nbins < 2) continue;
+
+      std::fill(bin_counts.begin(),
+                bin_counts.begin() + static_cast<std::ptrdiff_t>(
+                                         static_cast<std::size_t>(nbins) * ncls),
+                0u);
+      for (std::size_t i = frame.begin; i < frame.end; ++i) {
+        const std::size_t r = rows[i];
+        const auto b = static_cast<std::size_t>(binned.bin(r, col));
+        bin_counts[b * ncls + static_cast<std::size_t>(data.label(r))]++;
+      }
+
+      std::fill(left_counts.begin(), left_counts.end(), 0);
+      std::size_t left_n = 0;
+      for (int b = 0; b + 1 < nbins; ++b) {
+        for (std::size_t c = 0; c < ncls; ++c) {
+          const std::uint32_t cnt = bin_counts[static_cast<std::size_t>(b) * ncls + c];
+          left_counts[c] += cnt;
+          left_n += cnt;
+        }
+        if (left_n < params.min_samples_leaf) continue;
+        const std::size_t right_n = n - left_n;
+        if (right_n < params.min_samples_leaf) break;
+
+        double right_sum_sq = 0.0;
+        double left_sum_sq = 0.0;
+        for (std::size_t c = 0; c < ncls; ++c) {
+          const double lc = static_cast<double>(left_counts[c]);
+          const double rc = static_cast<double>(node_counts[c]) - lc;
+          left_sum_sq += lc * lc;
+          right_sum_sq += rc * rc;
+        }
+        const double ln = static_cast<double>(left_n);
+        const double rn = static_cast<double>(right_n);
+        const double gini_left = 1.0 - left_sum_sq / (ln * ln);
+        const double gini_right = 1.0 - right_sum_sq / (rn * rn);
+        const double gain =
+            node_gini - (ln / node_total) * gini_left - (rn / node_total) * gini_right;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = col;
+          best_bin = b;
+        }
+      }
+    }
+
+    if (best_bin < 0) {
+      make_leaf(frame.node_index, frame.begin, frame.end);
+      continue;
+    }
+
+    // Partition rows in place: bins <= best_bin go left.
+    const auto mid_it = std::partition(
+        rows.begin() + static_cast<std::ptrdiff_t>(frame.begin),
+        rows.begin() + static_cast<std::ptrdiff_t>(frame.end),
+        [&](std::size_t r) {
+          return static_cast<int>(binned.bin(r, best_feature)) <= best_bin;
+        });
+    const auto mid =
+        static_cast<std::size_t>(mid_it - rows.begin());
+    // Degenerate partitions cannot happen: the scan guaranteed both sides
+    // hold >= min_samples_leaf rows.
+
+    tree.importance_[best_feature] += best_gain * node_total;
+
+    const auto left_index = static_cast<std::int32_t>(tree.nodes_.size());
+    tree.nodes_.emplace_back();
+    const auto right_index = static_cast<std::int32_t>(tree.nodes_.size());
+    tree.nodes_.emplace_back();
+
+    Node& node = tree.nodes_[static_cast<std::size_t>(frame.node_index)];
+    node.feature = static_cast<std::int32_t>(best_feature);
+    node.threshold = binned.threshold(best_feature, best_bin);
+    node.left = left_index;
+    node.right = right_index;
+
+    stack.push_back({frame.begin, mid, frame.depth + 1, left_index});
+    stack.push_back({mid, frame.end, frame.depth + 1, right_index});
+  }
+
+  return tree;
+}
+
+std::span<const double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  const Node* node = &nodes_.front();
+  while (node->feature >= 0) {
+    const double v = features[static_cast<std::size_t>(node->feature)];
+    node = &nodes_[static_cast<std::size_t>(v <= node->threshold ? node->left
+                                                                 : node->right)];
+  }
+  return {probas_.data() + node->proba_offset, num_classes_};
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.feature < 0; }));
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flat node array.
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 0}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature >= 0) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+
+void DecisionTree::save(std::ostream& os) const {
+  os << "tree " << nodes_.size() << ' ' << probas_.size() << ' '
+     << num_classes_ << ' ' << importance_.size() << '\n';
+  os.precision(17);
+  for (const Node& n : nodes_) {
+    os << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+       << ' ' << n.proba_offset << '\n';
+  }
+  for (std::size_t i = 0; i < probas_.size(); ++i) {
+    os << probas_[i] << (i + 1 == probas_.size() ? '\n' : ' ');
+  }
+  if (probas_.empty()) os << '\n';
+  for (std::size_t i = 0; i < importance_.size(); ++i) {
+    os << importance_[i] << (i + 1 == importance_.size() ? '\n' : ' ');
+  }
+  if (importance_.empty()) os << '\n';
+}
+
+DecisionTree DecisionTree::load(std::istream& is) {
+  std::string tag;
+  std::size_t nodes = 0, probas = 0, classes = 0, importance = 0;
+  if (!(is >> tag >> nodes >> probas >> classes >> importance) || tag != "tree") {
+    throw std::runtime_error{"DecisionTree::load: bad header"};
+  }
+  DecisionTree tree;
+  tree.num_classes_ = classes;
+  tree.nodes_.resize(nodes);
+  for (Node& n : tree.nodes_) {
+    if (!(is >> n.feature >> n.threshold >> n.left >> n.right >>
+          n.proba_offset)) {
+      throw std::runtime_error{"DecisionTree::load: truncated nodes"};
+    }
+  }
+  tree.probas_.resize(probas);
+  for (double& p : tree.probas_) {
+    if (!(is >> p)) throw std::runtime_error{"DecisionTree::load: truncated probas"};
+  }
+  tree.importance_.resize(importance);
+  for (double& v : tree.importance_) {
+    if (!(is >> v)) {
+      throw std::runtime_error{"DecisionTree::load: truncated importance"};
+    }
+  }
+  return tree;
+}
+
+
+std::string DecisionTree::to_text(std::span<const std::string> feature_names,
+                                  std::span<const std::string> class_names) const {
+  std::string out;
+  if (nodes_.empty()) return out;
+  auto feature_label = [&](std::int32_t f) {
+    const auto idx = static_cast<std::size_t>(f);
+    return idx < feature_names.size() ? feature_names[idx]
+                                      : "f" + std::to_string(f);
+  };
+  // Depth-first with explicit stack; right child pushed first so the left
+  // branch prints immediately under its parent.
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    if (node.feature < 0) {
+      out += "leaf:";
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        const double p = probas_[static_cast<std::size_t>(node.proba_offset) + c];
+        out += ' ';
+        out += c < class_names.size() ? class_names[c] : std::to_string(c);
+        out += '=';
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%.2f", p);
+        out += buf;
+      }
+      out += '\n';
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, " <= %.6g\n", node.threshold);
+      out += feature_label(node.feature);
+      out += buf;
+      stack.push_back({node.right, depth + 1});
+      stack.push_back({node.left, depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace vqoe::ml

@@ -1,0 +1,227 @@
+#include "vqoe/ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+double entropy(std::span<const std::size_t> counts) {
+  const auto total_sz = std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  if (total_sz == 0) return 0.0;
+  const double total = static_cast<double>(total_sz);
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<int> discretize_equal_frequency(std::span<const double> values,
+                                            int bins) {
+  if (bins < 1) throw std::invalid_argument{"discretize: bins must be >= 1"};
+  std::vector<int> codes(values.size(), 0);
+  if (values.empty()) return codes;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) return codes;  // constant column
+
+  std::vector<double> cuts;
+  for (int b = 1; b < bins; ++b) {
+    const std::size_t idx = static_cast<std::size_t>(
+        static_cast<double>(b) * static_cast<double>(sorted.size()) /
+        static_cast<double>(bins));
+    if (idx == 0 || idx >= sorted.size()) continue;
+    const double lo = sorted[idx - 1];
+    const double hi = sorted[idx];
+    if (hi > lo) {
+      const double cut = lo + (hi - lo) / 2.0;
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    codes[i] = static_cast<int>(
+        std::upper_bound(cuts.begin(), cuts.end(), values[i]) - cuts.begin());
+  }
+  return codes;
+}
+
+namespace {
+
+// Joint and marginal entropies of two discrete code vectors.
+struct JointEntropy {
+  double hx = 0.0;
+  double hy = 0.0;
+  double hxy = 0.0;
+};
+
+JointEntropy joint_entropy(std::span<const int> x, std::span<const int> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument{"joint_entropy: size mismatch"};
+  }
+  std::map<int, std::size_t> cx, cy;
+  std::map<std::pair<int, int>, std::size_t> cxy;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cx[x[i]]++;
+    cy[y[i]]++;
+    cxy[{x[i], y[i]}]++;
+  }
+  auto ent = [&](auto& m) {
+    std::vector<std::size_t> counts;
+    counts.reserve(m.size());
+    for (const auto& [k, v] : m) counts.push_back(v);
+    return entropy(counts);
+  };
+  return {ent(cx), ent(cy), ent(cxy)};
+}
+
+}  // namespace
+
+double information_gain(std::span<const int> x, std::span<const int> y) {
+  const auto j = joint_entropy(x, y);
+  // IG = H(Y) - H(Y|X) = H(X) + H(Y) - H(X,Y)
+  return std::max(0.0, j.hx + j.hy - j.hxy);
+}
+
+double symmetric_uncertainty(std::span<const int> x, std::span<const int> y) {
+  const auto j = joint_entropy(x, y);
+  const double denom = j.hx + j.hy;
+  if (denom <= 0.0) return 0.0;
+  const double ig = std::max(0.0, j.hx + j.hy - j.hxy);
+  return 2.0 * ig / denom;
+}
+
+double information_gain(const Dataset& data, std::size_t col, int bins) {
+  const auto codes = discretize_equal_frequency(data.column(col), bins);
+  return information_gain(codes, data.labels());
+}
+
+std::vector<std::pair<std::string, double>> rank_by_information_gain(
+    const Dataset& data, int bins) {
+  std::vector<std::pair<std::string, double>> ranked;
+  ranked.reserve(data.cols());
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    ranked.emplace_back(data.feature_names()[c], information_gain(data, c, bins));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+CfsEvaluator::CfsEvaluator(const Dataset& data, int bins) {
+  codes_.reserve(data.cols());
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    codes_.push_back(discretize_equal_frequency(data.column(c), bins));
+  }
+  class_codes_ = data.labels();
+  class_corr_.assign(data.cols(), -1.0);
+  pair_corr_.assign(data.cols() * (data.cols() + 1) / 2, -1.0);
+}
+
+std::size_t CfsEvaluator::pair_index(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  // Index into the upper triangle (including diagonal) stored row by row.
+  return a * codes_.size() - a * (a + 1) / 2 + b;
+}
+
+double CfsEvaluator::feature_class_correlation(std::size_t col) const {
+  double& cached = class_corr_[col];
+  if (cached < 0.0) {
+    cached = symmetric_uncertainty(codes_[col], class_codes_);
+  }
+  return cached;
+}
+
+double CfsEvaluator::feature_feature_correlation(std::size_t a, std::size_t b) const {
+  double& cached = pair_corr_[pair_index(a, b)];
+  if (cached < 0.0) {
+    cached = a == b ? 1.0 : symmetric_uncertainty(codes_[a], codes_[b]);
+  }
+  return cached;
+}
+
+double CfsEvaluator::merit(std::span<const std::size_t> subset) const {
+  if (subset.empty()) return 0.0;
+  const double k = static_cast<double>(subset.size());
+  double sum_cf = 0.0;
+  double sum_ff = 0.0;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    sum_cf += feature_class_correlation(subset[i]);
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      sum_ff += feature_feature_correlation(subset[i], subset[j]);
+    }
+  }
+  const double mean_cf = sum_cf / k;
+  const double mean_ff =
+      subset.size() > 1 ? sum_ff / (k * (k - 1.0) / 2.0) : 0.0;
+  const double denom = std::sqrt(k + k * (k - 1.0) * mean_ff);
+  if (denom <= 0.0) return 0.0;
+  return k * mean_cf / denom;
+}
+
+std::vector<std::size_t> best_first_select(const CfsEvaluator& eval,
+                                           const BestFirstOptions& options) {
+  std::vector<std::size_t> current;
+  double best_merit = 0.0;
+  std::vector<std::size_t> best_subset;
+  int stale = 0;
+
+  const std::size_t n = eval.num_features();
+  std::vector<char> in_subset(n, 0);
+
+  while (stale < options.max_stale) {
+    if (options.max_subset != 0 && current.size() >= options.max_subset) break;
+
+    double step_best = -1.0;
+    std::size_t step_feature = n;
+    std::vector<std::size_t> candidate = current;
+    candidate.push_back(0);
+    for (std::size_t f = 0; f < n; ++f) {
+      if (in_subset[f]) continue;
+      candidate.back() = f;
+      const double m = eval.merit(candidate);
+      if (m > step_best) {
+        step_best = m;
+        step_feature = f;
+      }
+    }
+    if (step_feature == n) break;  // no feature left to add
+
+    current.push_back(step_feature);
+    in_subset[step_feature] = 1;
+    if (step_best > best_merit + 1e-12) {
+      best_merit = step_best;
+      best_subset = current;
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  }
+  return best_subset;
+}
+
+std::vector<std::string> cfs_best_first_feature_names(
+    const Dataset& data, const BestFirstOptions& options) {
+  const CfsEvaluator eval{data};
+  auto selected = best_first_select(eval, options);
+  // Present in descending information-gain order, as in Tables 2 and 5.
+  std::vector<std::pair<double, std::size_t>> gains;
+  gains.reserve(selected.size());
+  for (std::size_t col : selected) {
+    gains.emplace_back(information_gain(data, col), col);
+  }
+  std::stable_sort(gains.begin(), gains.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> names;
+  names.reserve(gains.size());
+  for (const auto& [gain, col] : gains) names.push_back(data.feature_names()[col]);
+  return names;
+}
+
+}  // namespace vqoe::ml

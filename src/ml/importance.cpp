@@ -1,0 +1,51 @@
+#include "vqoe/ml/importance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+double predictor_accuracy(
+    const std::function<int(std::span<const double>)>& predict,
+    const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.rows());
+}
+
+std::vector<double> permutation_importance(
+    const std::function<int(std::span<const double>)>& predict,
+    const Dataset& data, std::mt19937_64& rng, int repeats) {
+  if (repeats < 1) {
+    throw std::invalid_argument{"permutation_importance: repeats must be >= 1"};
+  }
+  const double baseline = predictor_accuracy(predict, data);
+  std::vector<double> importance(data.cols(), 0.0);
+
+  std::vector<std::size_t> perm(data.rows());
+  std::vector<double> row(data.cols());
+  for (std::size_t col = 0; col < data.cols(); ++col) {
+    double drop = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      std::iota(perm.begin(), perm.end(), 0);
+      std::shuffle(perm.begin(), perm.end(), rng);
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < data.rows(); ++i) {
+        const auto original = data.row(i);
+        std::copy(original.begin(), original.end(), row.begin());
+        row[col] = data.at(perm[i], col);
+        if (predict(row) == data.label(i)) ++correct;
+      }
+      drop += baseline - static_cast<double>(correct) /
+                             static_cast<double>(data.rows());
+    }
+    importance[col] = drop / static_cast<double>(repeats);
+  }
+  return importance;
+}
+
+}  // namespace vqoe::ml

@@ -1,0 +1,53 @@
+// AdaBoost.SAMME over shallow CART trees.
+//
+// The third period-appropriate learner of the classifier-comparison
+// ablation (Weka shipped AdaBoostM1; SAMME is its multi-class form). Weak
+// learners are depth-limited trees from decision_tree.h trained on weighted
+// bootstrap resamples (boosting by resampling).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+#include "vqoe/ml/decision_tree.h"
+
+namespace vqoe::ml {
+
+struct AdaBoostParams {
+  int rounds = 60;     ///< boosting iterations (weak learners)
+  int max_depth = 2;   ///< weak learner depth
+  std::uint64_t seed = 1;
+};
+
+/// Multi-class AdaBoost (SAMME): each round fits a weak tree on a
+/// weight-proportional resample, earns a stage weight
+/// α = ln((1-ε)/ε) + ln(K-1), and re-weights misclassified examples by
+/// e^α. Rounds with ε >= (K-1)/K are discarded and re-drawn; training stops
+/// early when a weak learner is perfect.
+class AdaBoost {
+ public:
+  AdaBoost() = default;
+
+  static AdaBoost fit(const Dataset& data, const AdaBoostParams& params = {});
+
+  /// Weighted vote over the weak learners.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  [[nodiscard]] std::size_t rounds_used() const { return learners_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] bool trained() const { return !learners_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+ private:
+  std::vector<DecisionTree> learners_;
+  std::vector<double> alphas_;
+  std::vector<std::string> feature_names_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace vqoe::ml

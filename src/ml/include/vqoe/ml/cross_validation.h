@@ -1,0 +1,44 @@
+// Stratified k-fold cross-validation.
+//
+// The paper's models are assessed with 10-fold cross-validation (Section 4),
+// training each fold on class-balanced data and testing on the untouched
+// fold so that reported precision/recall reflect the true class skew.
+#pragma once
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+#include "vqoe/ml/metrics.h"
+#include "vqoe/ml/random_forest.h"
+
+namespace vqoe::ml {
+
+/// Partition of [0, rows) into k stratified folds: every fold holds roughly
+/// the same class mix as the whole dataset.
+[[nodiscard]] std::vector<std::vector<std::size_t>> stratified_folds(
+    const Dataset& data, int k, std::mt19937_64& rng);
+
+struct CrossValidationOptions {
+  int folds = 10;
+  /// Balance the training portion of every fold by undersampling, as the
+  /// paper does before training.
+  bool balance_training = true;
+  std::uint64_t seed = 7;
+};
+
+/// Cross-validates a Random Forest configuration on `data` and returns the
+/// confusion matrix accumulated over all held-out folds.
+[[nodiscard]] ConfusionMatrix cross_validate(const Dataset& data,
+                                             const ForestParams& forest_params,
+                                             const CrossValidationOptions& options = {});
+
+/// Generic variant: `train` receives the (possibly balanced) training set
+/// and must return a predictor usable as `predict(features) -> int`.
+[[nodiscard]] ConfusionMatrix cross_validate_with(
+    const Dataset& data,
+    const std::function<std::function<int(std::span<const double>)>(const Dataset&)>& train,
+    const CrossValidationOptions& options = {});
+
+}  // namespace vqoe::ml

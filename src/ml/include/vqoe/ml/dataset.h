@@ -1,0 +1,94 @@
+// Tabular dataset with named feature columns and integer class labels.
+//
+// This is the interchange type between the feature-construction layer
+// (src/core/features.*) and the learning algorithms. The paper trains on
+// class-balanced data and evaluates on the original distribution
+// (Section 4.1, "Training and Testing the Predictive Model"), so the class
+// offers stratified splitting and balancing primitives in addition to basic
+// row/column selection.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vqoe::ml {
+
+/// Row-major numeric dataset. Invariants: every row has exactly
+/// `feature_names().size()` values, `labels().size() == rows()`, and every
+/// label is in [0, num_classes()).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// @param feature_names column names (must be unique; checked).
+  /// @param class_names   display names of the label values; label `i`
+  ///                      refers to class_names[i].
+  Dataset(std::vector<std::string> feature_names,
+          std::vector<std::string> class_names);
+
+  /// Appends one example. Throws std::invalid_argument when the row width
+  /// does not match or the label is out of range.
+  void add(std::vector<double> row, int label);
+
+  [[nodiscard]] std::size_t rows() const { return labels_.size(); }
+  [[nodiscard]] std::size_t cols() const { return feature_names_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return class_names_.size(); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+  /// Index of a feature column by name; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t feature_index(const std::string& name) const;
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const;
+  [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const {
+    return x_[row * cols() + col];
+  }
+
+  /// One full feature column, materialized.
+  [[nodiscard]] std::vector<double> column(std::size_t col) const;
+
+  /// Number of examples carrying each label, indexed by label value.
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// New dataset containing only the named feature columns (ground-truth
+  /// labels are preserved). Order of `names` defines the new column order.
+  [[nodiscard]] Dataset project(std::span<const std::string> names) const;
+
+  /// New dataset containing the given rows (indices may repeat, enabling
+  /// bootstrap resampling and oversampling).
+  [[nodiscard]] Dataset select_rows(std::span<const std::size_t> indices) const;
+
+  /// Balances classes by random undersampling: every class is reduced to the
+  /// size of the smallest non-empty class. Mirrors the paper's "balance the
+  /// number of instances among the three classes before training".
+  [[nodiscard]] Dataset balanced_undersample(std::mt19937_64& rng) const;
+
+  /// Balances classes by random oversampling (with replacement) to the size
+  /// of the largest class.
+  [[nodiscard]] Dataset balanced_oversample(std::mt19937_64& rng) const;
+
+  /// Stratified split into a training and a test set. `test_fraction` of
+  /// each class (rounded down, at least 1 when the class has >= 2 examples)
+  /// goes to the test set.
+  [[nodiscard]] std::pair<Dataset, Dataset> stratified_split(
+      double test_fraction, std::mt19937_64& rng) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  std::vector<double> x_;  // row-major, rows() x cols()
+  std::vector<int> labels_;
+};
+
+}  // namespace vqoe::ml

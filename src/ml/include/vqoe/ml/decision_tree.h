@@ -1,0 +1,94 @@
+// CART-style classification tree with Gini impurity splits.
+//
+// Trained on a quantile-binned view of the data (binning.h) for speed;
+// prediction works on raw feature vectors because every internal node stores
+// the raw-value threshold corresponding to its bin split. Supports random
+// feature subsampling per node (mtry), which is what turns a bag of these
+// trees into the Random Forest of Breiman (2001) used throughout the paper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "vqoe/ml/binning.h"
+#include "vqoe/ml/dataset.h"
+
+namespace vqoe::ml {
+
+/// Hyper-parameters shared by DecisionTree and RandomForest.
+struct TreeParams {
+  int max_depth = 24;                ///< Hard depth cap (root is depth 0).
+  std::size_t min_samples_leaf = 2;  ///< Minimum rows on each side of a split.
+  std::size_t min_samples_split = 4; ///< Do not split nodes smaller than this.
+  /// Features examined per node. 0 means "all" for a standalone tree and
+  /// floor(sqrt(cols)) inside a forest.
+  int mtry = 0;
+};
+
+/// A trained classification tree. Immutable after training.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits a tree on the rows of `data` given by `row_indices` (duplicates
+  /// allowed — bootstrap samples pass repeated indices). `binned` must have
+  /// been built from the same dataset.
+  ///
+  /// @param rng used only when params.mtry restricts the features per node.
+  static DecisionTree fit(const Dataset& data, const BinnedMatrix& binned,
+                          std::span<const std::size_t> row_indices,
+                          const TreeParams& params, std::mt19937_64& rng,
+                          std::size_t num_classes);
+
+  /// Class-probability estimate for one raw feature vector (the class
+  /// frequencies of the leaf the example falls in).
+  [[nodiscard]] std::span<const double> predict_proba(
+      std::span<const double> features) const;
+
+  /// argmax of predict_proba (ties broken toward the lower class index).
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const;
+  [[nodiscard]] int depth() const;
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+  /// Total Gini impurity decrease contributed by each feature column
+  /// (unnormalized); basis for the forest's feature importance.
+  [[nodiscard]] const std::vector<double>& impurity_importance() const {
+    return importance_;
+  }
+
+  /// Writes the tree in the line-based text format of model_io.h.
+  void save(std::ostream& os) const;
+  /// Reads a tree written by save(). Throws std::runtime_error on malformed
+  /// input.
+  static DecisionTree load(std::istream& is);
+
+  /// Human-readable indented dump ("feature <= threshold" per split, class
+  /// distribution per leaf) for model inspection. Feature/class names are
+  /// optional; indices are printed when absent.
+  [[nodiscard]] std::string to_text(
+      std::span<const std::string> feature_names = {},
+      std::span<const std::string> class_names = {}) const;
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;   ///< -1 marks a leaf.
+    double threshold = 0.0;      ///< go left when x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t proba_offset = -1;  ///< leaves: index into probas_.
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<double> probas_;  ///< concatenated per-leaf class distributions
+  std::vector<double> importance_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace vqoe::ml

@@ -1,0 +1,104 @@
+// Information-gain ranking and correlation-based feature subset selection.
+//
+// Section 4 of the paper reduces its constructed feature sets (70 features
+// for stall detection, 210 for average representation) with Weka's
+// "CfsSubsetEval" evaluator driven by a "Best First" search, then reports
+// each selected feature's information gain (Tables 2 and 5). This header
+// provides the same machinery:
+//
+//  * information_gain()      — IG(class; feature) with equal-frequency
+//                              discretization of the numeric feature,
+//  * symmetric_uncertainty() — the normalized correlation measure CFS uses,
+//  * CfsEvaluator            — the subset merit
+//                              k·r̄_cf / sqrt(k + k(k-1)·r̄_ff)
+//                              (Hall 1999) with memoized pairwise terms,
+//  * best_first_select()     — greedy forward Best First search with a
+//                              stale-expansion stopping rule.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+
+namespace vqoe::ml {
+
+/// Number of equal-frequency bins used when discretizing numeric features
+/// for entropy computations.
+inline constexpr int kDiscretizationBins = 10;
+
+/// Shannon entropy (log base 2) of a discrete sample given as category
+/// counts. Zero counts are ignored.
+[[nodiscard]] double entropy(std::span<const std::size_t> counts);
+
+/// Discretizes a numeric column into at most `bins` equal-frequency bins and
+/// returns the per-row bin index. Constant columns map to a single bin.
+[[nodiscard]] std::vector<int> discretize_equal_frequency(
+    std::span<const double> values, int bins = kDiscretizationBins);
+
+/// Information gain IG(Y; X) = H(Y) - H(Y|X) in bits, where X is the
+/// discretized feature column `col` and Y the class label.
+[[nodiscard]] double information_gain(const Dataset& data, std::size_t col,
+                                      int bins = kDiscretizationBins);
+
+/// Information gain between two discrete variables given as per-row codes.
+/// Both vectors must have equal length.
+[[nodiscard]] double information_gain(std::span<const int> x,
+                                      std::span<const int> y);
+
+/// Symmetric uncertainty SU(X, Y) = 2·IG / (H(X) + H(Y)) in [0, 1];
+/// 0 when either variable is constant.
+[[nodiscard]] double symmetric_uncertainty(std::span<const int> x,
+                                           std::span<const int> y);
+
+/// Ranks every feature of the dataset by information gain, descending.
+/// Returns (feature name, gain) pairs — the format of Tables 2 and 5.
+[[nodiscard]] std::vector<std::pair<std::string, double>> rank_by_information_gain(
+    const Dataset& data, int bins = kDiscretizationBins);
+
+/// Correlation-based Feature Selection merit function over a dataset.
+/// Feature-feature and feature-class correlations are symmetric
+/// uncertainties over discretized columns and are computed lazily and cached
+/// (the representation model's 210 features imply ~22k pairs).
+class CfsEvaluator {
+ public:
+  explicit CfsEvaluator(const Dataset& data, int bins = kDiscretizationBins);
+
+  /// Merit of a feature subset (column indices). Empty subsets score 0.
+  [[nodiscard]] double merit(std::span<const std::size_t> subset) const;
+
+  [[nodiscard]] double feature_class_correlation(std::size_t col) const;
+  [[nodiscard]] double feature_feature_correlation(std::size_t a, std::size_t b) const;
+
+  [[nodiscard]] std::size_t num_features() const { return codes_.size(); }
+
+ private:
+  std::vector<std::vector<int>> codes_;  // discretized feature columns
+  std::vector<int> class_codes_;
+  mutable std::vector<double> class_corr_;        // -1 = not yet computed
+  mutable std::vector<double> pair_corr_;         // upper triangle, -1 = unset
+  [[nodiscard]] std::size_t pair_index(std::size_t a, std::size_t b) const;
+};
+
+struct BestFirstOptions {
+  /// Stop after this many consecutive expansions without merit improvement
+  /// (Weka's default searchTermination is 5).
+  int max_stale = 5;
+  /// Optional hard cap on subset size (0 = unlimited).
+  std::size_t max_subset = 0;
+};
+
+/// Greedy forward Best First search maximizing CFS merit. Returns the
+/// selected column indices in the order they were added.
+[[nodiscard]] std::vector<std::size_t> best_first_select(
+    const CfsEvaluator& eval, const BestFirstOptions& options = {});
+
+/// Convenience wrapper: runs CFS + Best First on `data` and returns the
+/// selected feature *names*, ordered by descending information gain (the
+/// presentation order of the paper's tables).
+[[nodiscard]] std::vector<std::string> cfs_best_first_feature_names(
+    const Dataset& data, const BestFirstOptions& options = {});
+
+}  // namespace vqoe::ml

@@ -1,0 +1,30 @@
+// Model-agnostic permutation feature importance.
+//
+// Complements the Gini importances of random_forest.h and the information
+// gains of Tables 2/5 with the standard held-out measure: how much accuracy
+// a model loses when one feature column is shuffled. Works with any
+// predictor exposing predict(span<const double>) -> int.
+#pragma once
+
+#include <functional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+
+namespace vqoe::ml {
+
+/// Accuracy of a generic predictor over a dataset.
+[[nodiscard]] double predictor_accuracy(
+    const std::function<int(std::span<const double>)>& predict,
+    const Dataset& data);
+
+/// Mean accuracy drop per feature when that column is permuted across the
+/// rows of `data` (repeated `repeats` times, averaged). Values can be
+/// slightly negative for useless features; larger = more important.
+[[nodiscard]] std::vector<double> permutation_importance(
+    const std::function<int(std::span<const double>)>& predict,
+    const Dataset& data, std::mt19937_64& rng, int repeats = 3);
+
+}  // namespace vqoe::ml

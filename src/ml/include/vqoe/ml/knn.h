@@ -1,0 +1,43 @@
+// k-nearest-neighbours classifier with z-score feature normalization.
+//
+// The second baseline of the classifier-comparison ablation. Brute-force
+// search is intentional: at the corpus sizes of the benches it is fast
+// enough, and exactness keeps the comparison clean.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+
+namespace vqoe::ml {
+
+class KnnClassifier {
+ public:
+  KnnClassifier() = default;
+
+  /// Stores the (z-score normalized) training set.
+  /// @param k neighbourhood size; clamped to the training size. Must be >= 1.
+  static KnnClassifier fit(const Dataset& data, int k = 5);
+
+  /// Majority vote over the k nearest training examples (Euclidean distance
+  /// in normalized space; ties toward the lower class index).
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const { return !labels_.empty(); }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> x_;  // normalized, row-major
+  std::vector<int> labels_;
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+  std::size_t cols_ = 0;
+  std::size_t num_classes_ = 0;
+  int k_ = 5;
+};
+
+}  // namespace vqoe::ml

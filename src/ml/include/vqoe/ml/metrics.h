@@ -1,0 +1,78 @@
+// Classifier evaluation metrics.
+//
+// The paper reports every model as a table of per-class TP Rate, FP Rate,
+// Precision and Recall plus a weighted average row (Tables 3, 6, 8, 10) and
+// a row-normalized confusion matrix (Tables 4, 7, 9, 11). ConfusionMatrix
+// reproduces exactly those quantities.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vqoe::ml {
+
+/// Accumulates (actual, predicted) label pairs and derives the metrics the
+/// paper tabulates.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<std::string> class_names);
+
+  /// Records one prediction. Labels must be in [0, num_classes()).
+  void add(int actual, int predicted);
+
+  /// Merges another matrix over the same classes.
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t num_classes() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& class_names() const { return names_; }
+
+  /// Raw count of examples with the given actual label predicted as given.
+  [[nodiscard]] std::size_t count(int actual, int predicted) const;
+
+  /// Number of examples whose actual label is `c` (row sum).
+  [[nodiscard]] std::size_t support(int c) const;
+
+  /// Total number of recorded examples.
+  [[nodiscard]] std::size_t total() const;
+
+  /// Overall accuracy: trace / total. 0 when empty.
+  [[nodiscard]] double accuracy() const;
+
+  /// TP rate of class c (== recall): TP / actual positives.
+  [[nodiscard]] double tp_rate(int c) const;
+
+  /// FP rate of class c: FP / actual negatives.
+  [[nodiscard]] double fp_rate(int c) const;
+
+  /// Precision of class c: TP / predicted positives (0 when never predicted).
+  [[nodiscard]] double precision(int c) const;
+
+  /// Recall of class c (synonym of tp_rate, kept for table fidelity).
+  [[nodiscard]] double recall(int c) const { return tp_rate(c); }
+
+  /// Support-weighted averages, as in the paper's "weighted avg." rows.
+  [[nodiscard]] double weighted_tp_rate() const;
+  [[nodiscard]] double weighted_fp_rate() const;
+  [[nodiscard]] double weighted_precision() const;
+  [[nodiscard]] double weighted_recall() const;
+
+  /// Row-normalized cell: fraction of class `actual` predicted as
+  /// `predicted` (the percentage shown in the paper's confusion matrices).
+  [[nodiscard]] double row_fraction(int actual, int predicted) const;
+
+  /// Renders the per-class metric table (TP rate / FP rate / precision /
+  /// recall + weighted average) in the paper's layout.
+  [[nodiscard]] std::string metrics_table() const;
+
+  /// Renders the row-normalized confusion matrix as percentages.
+  [[nodiscard]] std::string confusion_table() const;
+
+ private:
+  [[nodiscard]] double weighted(double (ConfusionMatrix::*metric)(int) const) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::size_t> counts_;  // row-major num_classes x num_classes
+};
+
+}  // namespace vqoe::ml

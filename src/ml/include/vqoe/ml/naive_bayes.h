@@ -1,0 +1,49 @@
+// Gaussian Naive Bayes classifier.
+//
+// A period-appropriate baseline (Weka's default toolbox next to Random
+// Forest): per-class independent Gaussians over each feature. Used by the
+// classifier-comparison ablation of the Table 3 bench to show what the
+// paper's Random Forest choice buys over simpler learners.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+
+namespace vqoe::ml {
+
+/// Per-class feature Gaussians with Laplace-smoothed priors. Features with
+/// zero in-class variance get a small floor so unseen values do not produce
+/// -inf log-likelihoods.
+class GaussianNaiveBayes {
+ public:
+  GaussianNaiveBayes() = default;
+
+  /// Fits class priors and per-class feature means/variances.
+  static GaussianNaiveBayes fit(const Dataset& data);
+
+  /// Most probable class for one raw feature vector.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  /// Unnormalized per-class log posteriors (prior + likelihood).
+  [[nodiscard]] std::vector<double> log_posterior(
+      std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const { return !priors_.empty(); }
+  [[nodiscard]] std::size_t num_classes() const { return priors_.size(); }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> priors_;  // log priors per class
+  // Row-major [class][feature] means and variances.
+  std::vector<double> means_;
+  std::vector<double> variances_;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace vqoe::ml

@@ -1,0 +1,77 @@
+// Random Forest classifier (Breiman 2001).
+//
+// The paper's stall-detection and average-representation models are both
+// Random Forests ("we use Machine Learning and in particular the Random
+// Forest algorithm and 10-fold cross-validation", Section 4). This
+// implementation bags histogram-based CART trees with per-node feature
+// subsampling and offers out-of-bag accuracy and Gini feature importances.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vqoe/ml/dataset.h"
+#include "vqoe/ml/decision_tree.h"
+
+namespace vqoe::ml {
+
+struct ForestParams {
+  int num_trees = 60;
+  TreeParams tree;       ///< tree.mtry == 0 selects floor(sqrt(cols)).
+  std::uint64_t seed = 1;
+  bool compute_oob = false;  ///< track out-of-bag votes during fit()
+};
+
+/// A trained forest. Copyable; prediction is const and thread-compatible.
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  /// Fits `params.num_trees` trees on bootstrap resamples of `data`.
+  static RandomForest fit(const Dataset& data, const ForestParams& params);
+
+  /// Majority (probability-averaged) vote over all trees.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  /// Averaged class-probability vector (size == num_classes()).
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> features) const;
+
+  /// Predicts every row of a dataset that has the same column layout as the
+  /// training data (checked by name).
+  [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const;
+
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  [[nodiscard]] bool trained() const { return !trees_.empty(); }
+
+  /// Out-of-bag accuracy estimate; present only when params.compute_oob.
+  [[nodiscard]] std::optional<double> oob_accuracy() const { return oob_accuracy_; }
+
+  /// Mean decrease in Gini impurity per feature, normalized to sum to 1
+  /// (all-zero if no split was ever made).
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  /// Persists the trained forest as line-based text (train offline once,
+  /// load on the monitoring path — the paper's Section 8 deployment).
+  void save(std::ostream& os) const;
+  /// Loads a forest written by save(). Throws std::runtime_error on
+  /// malformed input.
+  static RandomForest load(std::istream& is);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::vector<std::string> feature_names_;
+  std::vector<double> importance_raw_;
+  std::size_t num_classes_ = 0;
+  std::optional<double> oob_accuracy_;
+};
+
+}  // namespace vqoe::ml

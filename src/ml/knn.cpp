@@ -1,0 +1,86 @@
+#include "vqoe/ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+KnnClassifier KnnClassifier::fit(const Dataset& data, int k) {
+  if (data.empty()) throw std::invalid_argument{"KnnClassifier::fit: empty dataset"};
+  if (k < 1) throw std::invalid_argument{"KnnClassifier::fit: k must be >= 1"};
+
+  KnnClassifier model;
+  model.feature_names_ = data.feature_names();
+  model.cols_ = data.cols();
+  model.num_classes_ = data.num_classes();
+  model.k_ = std::min<int>(k, static_cast<int>(data.rows()));
+  model.labels_ = data.labels();
+
+  // z-score parameters.
+  model.mean_.assign(model.cols_, 0.0);
+  model.inv_std_.assign(model.cols_, 1.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < model.cols_; ++f) model.mean_[f] += row[f];
+  }
+  for (double& m : model.mean_) m /= static_cast<double>(data.rows());
+  std::vector<double> var(model.cols_, 0.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < model.cols_; ++f) {
+      const double d = row[f] - model.mean_[f];
+      var[f] += d * d;
+    }
+  }
+  for (std::size_t f = 0; f < model.cols_; ++f) {
+    const double v = var[f] / static_cast<double>(data.rows());
+    model.inv_std_[f] = v > 1e-12 ? 1.0 / std::sqrt(v) : 0.0;  // constant -> ignore
+  }
+
+  model.x_.resize(data.rows() * model.cols_);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < model.cols_; ++f) {
+      model.x_[i * model.cols_ + f] =
+          (row[f] - model.mean_[f]) * model.inv_std_[f];
+    }
+  }
+  return model;
+}
+
+int KnnClassifier::predict(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error{"KnnClassifier: not trained"};
+  if (features.size() != cols_) {
+    throw std::invalid_argument{"KnnClassifier: feature width mismatch"};
+  }
+  std::vector<double> query(cols_);
+  for (std::size_t f = 0; f < cols_; ++f) {
+    query[f] = (features[f] - mean_[f]) * inv_std_[f];
+  }
+
+  // Keep the k best (distance, label) pairs with a simple partial sort —
+  // n is the training size, k is tiny.
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    double d2 = 0.0;
+    const double* row = x_.data() + i * cols_;
+    for (std::size_t f = 0; f < cols_; ++f) {
+      const double d = query[f] - row[f];
+      d2 += d * d;
+    }
+    distances.emplace_back(d2, labels_[i]);
+  }
+  const auto kth = distances.begin() + k_;
+  std::nth_element(distances.begin(), kth - 1, distances.end());
+
+  std::vector<int> votes(num_classes_, 0);
+  for (auto it = distances.begin(); it != kth; ++it) {
+    votes[static_cast<std::size_t>(it->second)]++;
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+}  // namespace vqoe::ml

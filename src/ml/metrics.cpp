@@ -1,0 +1,154 @@
+#include "vqoe/ml/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::vector<std::string> class_names)
+    : names_(std::move(class_names)), counts_(names_.size() * names_.size(), 0) {
+  if (names_.empty()) {
+    throw std::invalid_argument{"ConfusionMatrix: need at least one class"};
+  }
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  const auto k = num_classes();
+  if (actual < 0 || predicted < 0 || static_cast<std::size_t>(actual) >= k ||
+      static_cast<std::size_t>(predicted) >= k) {
+    throw std::invalid_argument{"ConfusionMatrix::add: label out of range"};
+  }
+  counts_[static_cast<std::size_t>(actual) * k + static_cast<std::size_t>(predicted)]++;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.names_ != names_) {
+    throw std::invalid_argument{"ConfusionMatrix::merge: class mismatch"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  return counts_[static_cast<std::size_t>(actual) * num_classes() +
+                 static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::support(int c) const {
+  std::size_t s = 0;
+  for (std::size_t j = 0; j < num_classes(); ++j) s += count(c, static_cast<int>(j));
+  return s;
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::size_t{0});
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t trace = 0;
+  for (std::size_t c = 0; c < num_classes(); ++c) trace += count(static_cast<int>(c), static_cast<int>(c));
+  return static_cast<double>(trace) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::tp_rate(int c) const {
+  const std::size_t pos = support(c);
+  if (pos == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(pos);
+}
+
+double ConfusionMatrix::fp_rate(int c) const {
+  const std::size_t n = total();
+  const std::size_t pos = support(c);
+  const std::size_t neg = n - pos;
+  if (neg == 0) return 0.0;
+  std::size_t fp = 0;
+  for (std::size_t a = 0; a < num_classes(); ++a) {
+    if (static_cast<int>(a) == c) continue;
+    fp += count(static_cast<int>(a), c);
+  }
+  return static_cast<double>(fp) / static_cast<double>(neg);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  std::size_t predicted = 0;
+  for (std::size_t a = 0; a < num_classes(); ++a) predicted += count(static_cast<int>(a), c);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::weighted(double (ConfusionMatrix::*metric)(int) const) const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    acc += (this->*metric)(static_cast<int>(c)) *
+           static_cast<double>(support(static_cast<int>(c)));
+  }
+  return acc / static_cast<double>(n);
+}
+
+double ConfusionMatrix::weighted_tp_rate() const { return weighted(&ConfusionMatrix::tp_rate); }
+double ConfusionMatrix::weighted_fp_rate() const { return weighted(&ConfusionMatrix::fp_rate); }
+double ConfusionMatrix::weighted_precision() const { return weighted(&ConfusionMatrix::precision); }
+double ConfusionMatrix::weighted_recall() const { return weighted(&ConfusionMatrix::recall); }
+
+double ConfusionMatrix::row_fraction(int actual, int predicted) const {
+  const std::size_t s = support(actual);
+  if (s == 0) return 0.0;
+  return static_cast<double>(count(actual, predicted)) / static_cast<double>(s);
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string fmt(double v, int prec = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ConfusionMatrix::metrics_table() const {
+  std::size_t w = 14;
+  for (const auto& n : names_) w = std::max(w, n.size() + 2);
+  std::ostringstream os;
+  os << pad("Class", w) << pad("TP Rate", 10) << pad("FP Rate", 10)
+     << pad("Precision", 11) << pad("Recall", 8) << '\n';
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const int ci = static_cast<int>(c);
+    os << pad(names_[c], w) << pad(fmt(tp_rate(ci)), 10) << pad(fmt(fp_rate(ci)), 10)
+       << pad(fmt(precision(ci)), 11) << pad(fmt(recall(ci)), 8) << '\n';
+  }
+  os << pad("weighted avg.", w) << pad(fmt(weighted_tp_rate()), 10)
+     << pad(fmt(weighted_fp_rate()), 10) << pad(fmt(weighted_precision()), 11)
+     << pad(fmt(weighted_recall()), 8) << '\n';
+  return os.str();
+}
+
+std::string ConfusionMatrix::confusion_table() const {
+  std::size_t w = 16;
+  for (const auto& n : names_) w = std::max(w, n.size() + 2);
+  std::ostringstream os;
+  os << pad("actual \\ pred", w);
+  for (const auto& n : names_) os << pad(n, w);
+  os << '\n';
+  for (std::size_t a = 0; a < num_classes(); ++a) {
+    os << pad(names_[a], w);
+    for (std::size_t p = 0; p < num_classes(); ++p) {
+      os << pad(fmt(100.0 * row_fraction(static_cast<int>(a), static_cast<int>(p)), 2) + "%", w);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vqoe::ml

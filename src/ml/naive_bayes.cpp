@@ -1,0 +1,97 @@
+#include "vqoe/ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::ml {
+
+GaussianNaiveBayes GaussianNaiveBayes::fit(const Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument{"GaussianNaiveBayes::fit: empty dataset"};
+  }
+  GaussianNaiveBayes model;
+  model.feature_names_ = data.feature_names();
+  model.cols_ = data.cols();
+  const std::size_t k = data.num_classes();
+  const std::size_t d = data.cols();
+
+  const auto counts = data.class_counts();
+  model.priors_.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    // Laplace-smoothed prior: classes absent from training keep a floor.
+    model.priors_[c] = std::log(
+        (static_cast<double>(counts[c]) + 1.0) /
+        (static_cast<double>(data.rows()) + static_cast<double>(k)));
+  }
+
+  model.means_.assign(k * d, 0.0);
+  model.variances_.assign(k * d, 0.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(data.label(i));
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) model.means_[c * d + f] += row[f];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t f = 0; f < d; ++f) {
+      model.means_[c * d + f] /= static_cast<double>(counts[c]);
+    }
+  }
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(data.label(i));
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double delta = row[f] - model.means_[c * d + f];
+      model.variances_[c * d + f] += delta * delta;
+    }
+  }
+  // Variance floor: a fraction of the pooled feature variance (plus an
+  // absolute epsilon) keeps degenerate features usable.
+  std::vector<double> pooled(d, 0.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    double mean_all = 0.0;
+    for (std::size_t i = 0; i < data.rows(); ++i) mean_all += data.at(i, f);
+    mean_all /= static_cast<double>(data.rows());
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      const double delta = data.at(i, f) - mean_all;
+      pooled[f] += delta * delta;
+    }
+    pooled[f] /= static_cast<double>(data.rows());
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t f = 0; f < d; ++f) {
+      double& var = model.variances_[c * d + f];
+      if (counts[c] > 1) var /= static_cast<double>(counts[c]);
+      var = std::max({var, 1e-3 * pooled[f], 1e-9});
+    }
+  }
+  return model;
+}
+
+std::vector<double> GaussianNaiveBayes::log_posterior(
+    std::span<const double> features) const {
+  if (!trained()) throw std::logic_error{"GaussianNaiveBayes: not trained"};
+  if (features.size() != cols_) {
+    throw std::invalid_argument{"GaussianNaiveBayes: feature width mismatch"};
+  }
+  std::vector<double> posterior(priors_);
+  constexpr double kLog2Pi = 1.8378770664093453;
+  for (std::size_t c = 0; c < priors_.size(); ++c) {
+    for (std::size_t f = 0; f < cols_; ++f) {
+      const double mean = means_[c * cols_ + f];
+      const double var = variances_[c * cols_ + f];
+      const double delta = features[f] - mean;
+      posterior[c] += -0.5 * (kLog2Pi + std::log(var) + delta * delta / var);
+    }
+  }
+  return posterior;
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> features) const {
+  const auto posterior = log_posterior(features);
+  return static_cast<int>(
+      std::max_element(posterior.begin(), posterior.end()) - posterior.begin());
+}
+
+}  // namespace vqoe::ml

@@ -1,0 +1,186 @@
+#include "vqoe/ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "vqoe/ml/binning.h"
+
+namespace vqoe::ml {
+
+RandomForest RandomForest::fit(const Dataset& data, const ForestParams& params) {
+  if (data.empty()) throw std::invalid_argument{"RandomForest::fit: empty dataset"};
+  if (params.num_trees <= 0) {
+    throw std::invalid_argument{"RandomForest::fit: num_trees must be > 0"};
+  }
+
+  RandomForest forest;
+  forest.feature_names_ = data.feature_names();
+  forest.num_classes_ = data.num_classes();
+  forest.importance_raw_.assign(data.cols(), 0.0);
+
+  const BinnedMatrix binned = BinnedMatrix::build(data);
+
+  TreeParams tree_params = params.tree;
+  if (tree_params.mtry <= 0) {
+    tree_params.mtry = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(data.cols()))));
+  }
+
+  std::mt19937_64 rng{params.seed};
+  const std::size_t n = data.rows();
+  std::uniform_int_distribution<std::size_t> pick_row(0, n - 1);
+
+  // OOB bookkeeping: per-row class vote sums from trees that did not train
+  // on that row.
+  std::vector<double> oob_votes;
+  std::vector<char> in_bag(n, 0);
+  if (params.compute_oob) oob_votes.assign(n * forest.num_classes_, 0.0);
+
+  std::vector<std::size_t> bootstrap(n);
+  forest.trees_.reserve(static_cast<std::size_t>(params.num_trees));
+  for (int t = 0; t < params.num_trees; ++t) {
+    std::fill(in_bag.begin(), in_bag.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      bootstrap[i] = pick_row(rng);
+      in_bag[bootstrap[i]] = 1;
+    }
+    DecisionTree tree = DecisionTree::fit(data, binned, bootstrap, tree_params,
+                                          rng, forest.num_classes_);
+    const auto& imp = tree.impurity_importance();
+    for (std::size_t c = 0; c < imp.size(); ++c) forest.importance_raw_[c] += imp[c];
+
+    if (params.compute_oob) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_bag[i]) continue;
+        const auto proba = tree.predict_proba(data.row(i));
+        for (std::size_t c = 0; c < forest.num_classes_; ++c) {
+          oob_votes[i * forest.num_classes_ + c] += proba[c];
+        }
+      }
+    }
+    forest.trees_.push_back(std::move(tree));
+  }
+
+  if (params.compute_oob) {
+    std::size_t correct = 0, counted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row_votes =
+          std::span{oob_votes.data() + i * forest.num_classes_, forest.num_classes_};
+      const double total =
+          std::accumulate(row_votes.begin(), row_votes.end(), 0.0);
+      if (total == 0.0) continue;  // row was in every bag
+      const int pred = static_cast<int>(
+          std::max_element(row_votes.begin(), row_votes.end()) - row_votes.begin());
+      ++counted;
+      if (pred == data.label(i)) ++correct;
+    }
+    if (counted > 0) {
+      forest.oob_accuracy_ =
+          static_cast<double>(correct) / static_cast<double>(counted);
+    }
+  }
+  return forest;
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  std::vector<double> votes(num_classes_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto proba = tree.predict_proba(features);
+    for (std::size_t c = 0; c < num_classes_; ++c) votes[c] += proba[c];
+  }
+  const double total = std::accumulate(votes.begin(), votes.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : votes) v /= total;
+  }
+  return votes;
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+std::vector<int> RandomForest::predict_all(const Dataset& data) const {
+  if (data.feature_names() != feature_names_) {
+    throw std::invalid_argument{
+        "RandomForest::predict_all: feature layout differs from training"};
+  }
+  std::vector<int> out;
+  out.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) out.push_back(predict(data.row(i)));
+  return out;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  std::vector<double> imp = importance_raw_;
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+
+void RandomForest::save(std::ostream& os) const {
+  os << "vqoe-forest v1\n";
+  os << "classes " << num_classes_ << '\n';
+  os << "features " << feature_names_.size() << '\n';
+  for (const std::string& name : feature_names_) os << name << '\n';
+  os.precision(17);
+  os << "importance";
+  for (double v : importance_raw_) os << ' ' << v;
+  os << '\n';
+  os << "oob " << (oob_accuracy_ ? *oob_accuracy_ : -1.0) << '\n';
+  os << "trees " << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) tree.save(os);
+}
+
+RandomForest RandomForest::load(std::istream& is) {
+  std::string word, version;
+  if (!(is >> word >> version) || word != "vqoe-forest" || version != "v1") {
+    throw std::runtime_error{"RandomForest::load: bad header"};
+  }
+  RandomForest forest;
+  std::size_t n_features = 0, n_trees = 0;
+  if (!(is >> word >> forest.num_classes_) || word != "classes") {
+    throw std::runtime_error{"RandomForest::load: missing classes"};
+  }
+  if (!(is >> word >> n_features) || word != "features") {
+    throw std::runtime_error{"RandomForest::load: missing features"};
+  }
+  forest.feature_names_.resize(n_features);
+  for (std::string& name : forest.feature_names_) {
+    if (!(is >> name)) throw std::runtime_error{"RandomForest::load: truncated names"};
+  }
+  if (!(is >> word) || word != "importance") {
+    throw std::runtime_error{"RandomForest::load: missing importance"};
+  }
+  forest.importance_raw_.resize(n_features);
+  for (double& v : forest.importance_raw_) {
+    if (!(is >> v)) throw std::runtime_error{"RandomForest::load: truncated importance"};
+  }
+  double oob = -1.0;
+  if (!(is >> word >> oob) || word != "oob") {
+    throw std::runtime_error{"RandomForest::load: missing oob"};
+  }
+  if (oob >= 0.0) forest.oob_accuracy_ = oob;
+  if (!(is >> word >> n_trees) || word != "trees") {
+    throw std::runtime_error{"RandomForest::load: missing trees"};
+  }
+  forest.trees_.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    forest.trees_.push_back(DecisionTree::load(is));
+    if (forest.trees_.back().num_classes() != forest.num_classes_) {
+      throw std::runtime_error{"RandomForest::load: tree class mismatch"};
+    }
+  }
+  return forest;
+}
+
+}  // namespace vqoe::ml

@@ -1,0 +1,79 @@
+#include "vqoe/net/cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::net {
+
+double offered_load_erlangs(const CellConfig& config) {
+  return config.mean_arrivals_per_s * config.mean_holding_s;
+}
+
+CellLoadChannel::CellLoadChannel(CellConfig config, double radio_quality,
+                                 std::uint64_t seed)
+    : config_(config), radio_quality_(radio_quality), rng_(seed) {
+  if (radio_quality <= 0.0 || radio_quality > 1.0) {
+    throw std::invalid_argument{"CellLoadChannel: radio_quality out of (0,1]"};
+  }
+  if (config.capacity_bps <= 0.0) {
+    throw std::invalid_argument{"CellLoadChannel: capacity must be > 0"};
+  }
+  // Start the background population at its stationary mean (Poisson with
+  // mean = offered load) so short sessions see a representative cell.
+  std::poisson_distribution<int> stationary(
+      std::max(0.0, offered_load_erlangs(config)));
+  active_ = stationary(rng_);
+  std::normal_distribution<double> unit(0.0, 1.0);
+  jitter_dev_ = unit(rng_);
+}
+
+void CellLoadChannel::advance_to(double time_s) {
+  // Next-event simulation of the M/M/inf background population: the total
+  // event rate in state n is λ + n·μ.
+  const double mu =
+      config_.mean_holding_s > 0.0 ? 1.0 / config_.mean_holding_s : 0.0;
+  while (true) {
+    const double rate = config_.mean_arrivals_per_s + active_ * mu;
+    if (rate <= 0.0) {
+      next_event_s_ = time_s;  // frozen population
+      return;
+    }
+    if (next_event_s_ == 0.0 && last_time_ == 0.0) {
+      std::exponential_distribution<double> first(rate);
+      next_event_s_ = first(rng_);
+    }
+    if (time_s < next_event_s_) return;
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    const bool arrival =
+        coin(rng_) < config_.mean_arrivals_per_s / rate;
+    active_ += arrival ? 1 : (active_ > 0 ? -1 : 0);
+    std::exponential_distribution<double> gap(config_.mean_arrivals_per_s +
+                                              active_ * mu);
+    next_event_s_ += gap(rng_);
+  }
+}
+
+ChannelState CellLoadChannel::at(double time_s) {
+  advance_to(time_s);
+  const double dt = std::max(0.0, time_s - last_time_);
+  last_time_ = std::max(last_time_, time_s);
+  // Short-term fading jitter (AR(1), 8 s e-folding).
+  const double rho = std::exp(-dt / 8.0);
+  std::normal_distribution<double> noise(0.0, std::sqrt(1.0 - rho * rho));
+  jitter_dev_ = rho * jitter_dev_ + noise(rng_);
+
+  ChannelState s;
+  const double share =
+      config_.capacity_bps / (1.0 + static_cast<double>(active_));
+  s.bandwidth_bps =
+      std::max(8e3, share * radio_quality_ * std::exp(0.15 * jitter_dev_));
+  s.rtt_ms = config_.base_rtt_ms +
+             config_.rtt_per_user_ms * static_cast<double>(active_);
+  s.loss_rate = std::clamp(
+      config_.base_loss + config_.loss_per_user * static_cast<double>(active_),
+      0.0, 0.5);
+  return s;
+}
+
+}  // namespace vqoe::net

@@ -1,0 +1,127 @@
+#include "vqoe/net/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::net {
+
+namespace {
+
+// Advances a standardized AR(1) deviation process from `dev` across `dt`
+// seconds with e-folding time `tau`, drawing innovation noise from `rng`.
+double ar1_step(double dev, double dt, double tau, std::mt19937_64& rng) {
+  if (dt <= 0.0) return dev;
+  const double rho = std::exp(-dt / tau);
+  std::normal_distribution<double> noise(0.0, std::sqrt(1.0 - rho * rho));
+  return rho * dev + noise(rng);
+}
+
+ChannelState realize(const NetworkProfile& p, double bw_dev, double rtt_dev,
+                     double loss_scale, double rtt_scale) {
+  ChannelState s;
+  // Log-normal-ish bandwidth: strictly positive, CV-controlled spread.
+  s.bandwidth_bps = p.mean_bandwidth_bps * std::exp(p.bandwidth_cv * bw_dev -
+                                                    0.5 * p.bandwidth_cv * p.bandwidth_cv);
+  s.bandwidth_bps = std::max(s.bandwidth_bps, 8e3);  // floor: 8 kbit/s
+  s.rtt_ms = p.base_rtt_ms * rtt_scale *
+             std::exp(p.rtt_jitter_cv * rtt_dev -
+                      0.5 * p.rtt_jitter_cv * p.rtt_jitter_cv);
+  s.rtt_ms = std::max(s.rtt_ms, 5.0);
+  s.loss_rate =
+      std::clamp(p.loss_rate * loss_scale * std::exp(-0.5 * bw_dev), 0.0, 0.5);
+  return s;
+}
+
+// Paths differ far more across users than a profile's mean suggests: RED
+// policies, bufferbloat, middleboxes and peering all move loss and RTT by
+// orders of magnitude between subscribers in the *same* radio regime. These
+// per-connection scales are what keeps QoS metrics from trivially
+// identifying the regime (and with it the QoE class).
+double sample_loss_scale(std::mt19937_64& rng) {
+  std::lognormal_distribution<double> d(0.0, 1.0);
+  return d(rng);
+}
+
+double sample_rtt_scale(std::mt19937_64& rng) {
+  std::lognormal_distribution<double> d(0.0, 0.55);
+  return d(rng);
+}
+
+}  // namespace
+
+GaussMarkovChannel::GaussMarkovChannel(NetworkProfile profile, std::uint64_t seed,
+                                       double correlation_s)
+    : profile_(std::move(profile)), rng_(seed), correlation_s_(correlation_s) {
+  if (correlation_s <= 0.0) {
+    throw std::invalid_argument{"GaussMarkovChannel: correlation must be > 0"};
+  }
+  std::normal_distribution<double> unit(0.0, 1.0);
+  bw_dev_ = unit(rng_);
+  rtt_dev_ = unit(rng_);
+  loss_scale_ = sample_loss_scale(rng_);
+  rtt_scale_ = sample_rtt_scale(rng_);
+}
+
+ChannelState GaussMarkovChannel::at(double time_s) {
+  const double dt = std::max(0.0, time_s - last_time_);
+  last_time_ = std::max(last_time_, time_s);
+  bw_dev_ = ar1_step(bw_dev_, dt, correlation_s_, rng_);
+  rtt_dev_ = ar1_step(rtt_dev_, dt, correlation_s_, rng_);
+  return realize(profile_, bw_dev_, rtt_dev_, loss_scale_, rtt_scale_);
+}
+
+MobilityChannel::MobilityChannel(std::vector<NetworkProfile> states,
+                                 std::uint64_t seed)
+    : states_(std::move(states)), rng_(seed) {
+  if (states_.empty()) {
+    throw std::invalid_argument{"MobilityChannel: need at least one state"};
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, states_.size() - 1);
+  current_ = pick(rng_);
+  std::exponential_distribution<double> dwell(1.0 / states_[current_].mean_dwell_s);
+  next_transition_s_ = dwell(rng_);
+  std::normal_distribution<double> unit(0.0, 1.0);
+  bw_dev_ = unit(rng_);
+  rtt_dev_ = unit(rng_);
+  loss_scale_ = sample_loss_scale(rng_);
+  rtt_scale_ = sample_rtt_scale(rng_);
+}
+
+void MobilityChannel::advance_to(double time_s) {
+  while (states_.size() > 1 && time_s >= next_transition_s_) {
+    // Uniform jump to a different state.
+    std::uniform_int_distribution<std::size_t> pick(0, states_.size() - 2);
+    std::size_t next = pick(rng_);
+    if (next >= current_) ++next;
+    current_ = next;
+    std::exponential_distribution<double> dwell(1.0 / states_[current_].mean_dwell_s);
+    next_transition_s_ += dwell(rng_);
+    // Handover: decorrelate the jitter processes.
+    std::normal_distribution<double> unit(0.0, 1.0);
+    bw_dev_ = unit(rng_);
+    rtt_dev_ = unit(rng_);
+  }
+}
+
+ChannelState MobilityChannel::at(double time_s) {
+  advance_to(time_s);
+  const double dt = std::max(0.0, time_s - last_time_);
+  last_time_ = std::max(last_time_, time_s);
+  bw_dev_ = ar1_step(bw_dev_, dt, 6.0, rng_);
+  rtt_dev_ = ar1_step(rtt_dev_, dt, 6.0, rng_);
+  return realize(states_[current_], bw_dev_, rtt_dev_, loss_scale_, rtt_scale_);
+}
+
+const std::string& MobilityChannel::regime() const { return states_[current_].name; }
+
+std::unique_ptr<ChannelModel> make_channel(const NetworkProfile& profile,
+                                           std::uint64_t seed) {
+  return std::make_unique<GaussMarkovChannel>(profile, seed);
+}
+
+std::unique_ptr<ChannelModel> make_commute_channel(std::uint64_t seed) {
+  return std::make_unique<MobilityChannel>(commute_states(), seed);
+}
+
+}  // namespace vqoe::net

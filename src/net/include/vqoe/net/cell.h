@@ -1,0 +1,64 @@
+// Shared-cell load model.
+//
+// The paper's motivation is operator-side: capacity planning and radio
+// resource allocation (Section 1). The stand-alone channel models in
+// channel.h treat each session's radio conditions as exogenous; this header
+// adds the load coupling an operator actually plans against: a cell of
+// finite capacity shared with a fluctuating population of background users.
+//
+// Background users form a birth-death process (Poisson arrivals, exponential
+// holding times — an M/M/inf cell); the foreground session's share of the
+// cell is capacity / (1 + N(t)) scaled by its own radio quality, RTT
+// inflates with queue depth, and loss rises mildly under contention. The
+// ext_cell_load bench sweeps the offered load to produce the QoE-vs-load
+// planning curve.
+#pragma once
+
+#include <random>
+
+#include "vqoe/net/channel.h"
+
+namespace vqoe::net {
+
+struct CellConfig {
+  double capacity_bps = 30e6;        ///< total downlink capacity of the cell
+  double mean_arrivals_per_s = 0.05; ///< background session arrival rate λ
+  double mean_holding_s = 120.0;     ///< background session duration 1/μ
+  double base_rtt_ms = 70.0;
+  double rtt_per_user_ms = 6.0;      ///< queueing delay added per active user
+  double base_loss = 0.003;
+  double loss_per_user = 0.0015;     ///< contention loss added per active user
+};
+
+/// Offered load in Erlangs (λ/μ — the expected number of concurrent
+/// background users).
+[[nodiscard]] double offered_load_erlangs(const CellConfig& config);
+
+/// Channel view of one foreground session attached to a loaded cell.
+/// The background population evolves lazily as time advances.
+class CellLoadChannel final : public ChannelModel {
+ public:
+  /// @param radio_quality per-user link efficiency in (0, 1]: edge-of-cell
+  ///        users extract less of their share.
+  CellLoadChannel(CellConfig config, double radio_quality, std::uint64_t seed);
+
+  ChannelState at(double time_s) override;
+  [[nodiscard]] const std::string& regime() const override { return regime_; }
+
+  /// Background users currently active (after the last at() call).
+  [[nodiscard]] int active_users() const { return active_; }
+
+ private:
+  void advance_to(double time_s);
+
+  CellConfig config_;
+  double radio_quality_;
+  std::mt19937_64 rng_;
+  std::string regime_ = "shared_cell";
+  int active_ = 0;
+  double next_event_s_ = 0.0;
+  double last_time_ = 0.0;
+  double jitter_dev_ = 0.0;
+};
+
+}  // namespace vqoe::net

@@ -1,0 +1,98 @@
+// Time-varying link models.
+//
+// A ChannelModel answers "what does the path look like at time t?" for the
+// streaming simulator. Two concrete models cover the paper's two data
+// collection settings:
+//
+//  * GaussMarkovChannel — a single NetworkProfile with AR(1)-correlated
+//    bandwidth and RTT fluctuation: the static users that dominate the
+//    cleartext weblog corpus (Section 3).
+//  * MobilityChannel — a continuous-time Markov chain over several profiles
+//    (cell handovers while commuting) with Gauss-Markov jitter inside each
+//    state: the instrumented commuting handset of Section 5.2.
+#pragma once
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "vqoe/net/profile.h"
+
+namespace vqoe::net {
+
+/// Instantaneous path state seen by one flow.
+struct ChannelState {
+  double bandwidth_bps = 0.0;  ///< available bandwidth for this flow
+  double rtt_ms = 0.0;         ///< current base RTT (before queuing)
+  double loss_rate = 0.0;      ///< segment loss probability
+};
+
+/// Interface: link state as a (stochastic, stateful) function of time.
+/// Calls must pass non-decreasing timestamps.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// State of the path at `time_s` (seconds from session start).
+  virtual ChannelState at(double time_s) = 0;
+
+  /// Name of the regime currently governing the channel (profile name).
+  [[nodiscard]] virtual const std::string& regime() const = 0;
+};
+
+/// AR(1) (Gauss-Markov) fluctuation around a single profile's means.
+/// Correlation decays with elapsed time; the process is sampled lazily at
+/// the query times.
+class GaussMarkovChannel final : public ChannelModel {
+ public:
+  /// @param profile        regime to fluctuate around.
+  /// @param seed           private RNG seed (simulations are reproducible).
+  /// @param correlation_s  e-folding time of the AR(1) correlation.
+  GaussMarkovChannel(NetworkProfile profile, std::uint64_t seed,
+                     double correlation_s = 8.0);
+
+  ChannelState at(double time_s) override;
+  [[nodiscard]] const std::string& regime() const override { return profile_.name; }
+
+ private:
+  NetworkProfile profile_;
+  std::mt19937_64 rng_;
+  double correlation_s_;
+  double last_time_ = 0.0;
+  double bw_dev_ = 0.0;   // standardized deviation processes
+  double rtt_dev_ = 0.0;
+  double loss_scale_ = 1.0;  // per-connection QoS idiosyncrasy
+  double rtt_scale_ = 1.0;
+};
+
+/// Continuous-time Markov chain over profiles with exponential dwell times;
+/// within a state, behaves like GaussMarkovChannel.
+class MobilityChannel final : public ChannelModel {
+ public:
+  /// @param states uniform next-state choice among the others; dwell time in
+  ///               state i is Exp(mean = states[i].mean_dwell_s).
+  MobilityChannel(std::vector<NetworkProfile> states, std::uint64_t seed);
+
+  ChannelState at(double time_s) override;
+  [[nodiscard]] const std::string& regime() const override;
+
+ private:
+  void advance_to(double time_s);
+
+  std::vector<NetworkProfile> states_;
+  std::mt19937_64 rng_;
+  std::size_t current_ = 0;
+  double next_transition_s_ = 0.0;
+  double bw_dev_ = 0.0;
+  double rtt_dev_ = 0.0;
+  double loss_scale_ = 1.0;
+  double rtt_scale_ = 1.0;
+  double last_time_ = 0.0;
+};
+
+/// Convenience factory used by the workload generators.
+[[nodiscard]] std::unique_ptr<ChannelModel> make_channel(
+    const NetworkProfile& profile, std::uint64_t seed);
+[[nodiscard]] std::unique_ptr<ChannelModel> make_commute_channel(std::uint64_t seed);
+
+}  // namespace vqoe::net

@@ -1,0 +1,54 @@
+// Named network condition profiles.
+//
+// The paper's training corpus comes from a production cellular network whose
+// sessions span everything from well-provisioned static users to commuters
+// on degraded 3G cells (Section 5.2 deliberately over-samples the latter for
+// the encrypted dataset). A NetworkProfile captures the first and second
+// moments of one such regime; the channel models in channel.h turn profiles
+// into time-varying link state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vqoe::net {
+
+/// Stationary description of one radio/network regime.
+struct NetworkProfile {
+  std::string name;
+
+  double mean_bandwidth_bps = 4e6;  ///< long-run available bandwidth
+  double bandwidth_cv = 0.2;        ///< coefficient of variation of bandwidth
+
+  double base_rtt_ms = 60.0;        ///< propagation + scheduling RTT
+  double rtt_jitter_cv = 0.15;      ///< relative RTT jitter
+
+  double loss_rate = 0.002;         ///< random segment loss probability
+
+  /// Mean sojourn time in this regime when used as a mobility state.
+  double mean_dwell_s = 60.0;
+};
+
+/// Fixed home/office WiFi or well-provisioned LTE: high bandwidth, low
+/// jitter. Sessions here virtually never stall and sustain HD.
+[[nodiscard]] NetworkProfile profile_static_good();
+
+/// Average urban cellular: SD-capable, occasional quality switches.
+[[nodiscard]] NetworkProfile profile_cell_fair();
+
+/// Busy-hour congested cell: throughput below SD bitrates, elevated loss and
+/// queuing RTT — the regime where mild stalling concentrates.
+[[nodiscard]] NetworkProfile profile_cell_congested();
+
+/// Edge-of-coverage / overloaded 3G: severe stalling territory.
+[[nodiscard]] NetworkProfile profile_cell_poor();
+
+/// Deep outage-like conditions (tunnels, basements) used as a transient
+/// mobility state.
+[[nodiscard]] NetworkProfile profile_cell_outage();
+
+/// The mobility mix of Section 5.2's commuting user: alternates fair, poor,
+/// congested and near-outage cells with short dwell times.
+[[nodiscard]] std::vector<NetworkProfile> commute_states();
+
+}  // namespace vqoe::net

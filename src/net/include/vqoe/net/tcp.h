@@ -1,0 +1,72 @@
+// Chunk-level TCP transfer model.
+//
+// The operator proxy of Section 3.1 annotates every HTTP transaction with
+// transport-layer statistics: min/avg/max RTT, bandwidth-delay product,
+// average and maximum bytes-in-flight, packet loss % and retransmission %.
+// TcpModel reproduces those annotations for a simulated chunk download:
+// slow start from the connection's current congestion window, a
+// Mathis-equation loss cap on the sustained rate, queue-induced RTT
+// inflation, and window restart after idle (the OFF periods of ON-OFF
+// pacing reset cwnd, which is why recovery chunks after a stall download
+// slower than steady-state chunks of the same size).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "vqoe/net/channel.h"
+
+namespace vqoe::net {
+
+/// The per-transaction transport annotations of Table 1 (left column),
+/// excluding chunk size/time which the player layer owns.
+struct TransportStats {
+  double rtt_min_ms = 0.0;
+  double rtt_avg_ms = 0.0;
+  double rtt_max_ms = 0.0;
+  double bdp_bytes = 0.0;       ///< link capacity x RTT
+  double bif_avg_bytes = 0.0;   ///< mean bytes-in-flight (cwnd) during transfer
+  double bif_max_bytes = 0.0;   ///< peak bytes-in-flight
+  double loss_pct = 0.0;        ///< lost packets / packets sent x 100
+  double retrans_pct = 0.0;     ///< retransmitted / sent x 100 (>= loss_pct)
+};
+
+/// Outcome of one simulated HTTP object download.
+struct DownloadResult {
+  double duration_s = 0.0;   ///< request sent -> last byte received
+  double goodput_bps = 0.0;  ///< size / (duration - request RTT)
+  TransportStats stats;
+};
+
+/// Stateful per-connection transfer simulator. The congestion window
+/// persists across downloads on the same (persistent) connection and decays
+/// back to the initial window after sufficiently long idle gaps.
+class TcpModel {
+ public:
+  static constexpr double kMssBytes = 1460.0;
+  static constexpr double kInitialWindowBytes = 10 * kMssBytes;
+  /// Idle time after which RFC 5681-style congestion window validation
+  /// collapses cwnd back to the initial window.
+  static constexpr double kIdleResetS = 1.0;
+
+  explicit TcpModel(std::uint64_t seed) : rng_(seed) {}
+
+  /// Simulates downloading `size_bytes` under channel state `ch`.
+  /// `size_bytes` must be > 0.
+  DownloadResult download(std::uint64_t size_bytes, const ChannelState& ch);
+
+  /// Notifies the model that the connection stayed idle for `dt` seconds
+  /// (the OFF part of an ON-OFF cycle, or a stall).
+  void idle(double dt);
+
+  /// Starts a fresh connection (new video session / server switch).
+  void reset();
+
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_bytes_; }
+
+ private:
+  std::mt19937_64 rng_;
+  double cwnd_bytes_ = kInitialWindowBytes;
+};
+
+}  // namespace vqoe::net

@@ -1,0 +1,67 @@
+#include "vqoe/net/profile.h"
+
+namespace vqoe::net {
+
+NetworkProfile profile_static_good() {
+  return {.name = "static_good",
+          .mean_bandwidth_bps = 9e6,
+          .bandwidth_cv = 0.18,
+          .base_rtt_ms = 52.0,
+          .rtt_jitter_cv = 0.10,
+          .loss_rate = 0.002,
+          .mean_dwell_s = 600.0};
+}
+
+NetworkProfile profile_cell_fair() {
+  return {.name = "cell_fair",
+          .mean_bandwidth_bps = 3.2e6,
+          .bandwidth_cv = 0.25,
+          .base_rtt_ms = 72.0,
+          .rtt_jitter_cv = 0.20,
+          .loss_rate = 0.005,
+          .mean_dwell_s = 180.0};
+}
+
+NetworkProfile profile_cell_congested() {
+  return {.name = "cell_congested",
+          .mean_bandwidth_bps = 1.1e6,
+          .bandwidth_cv = 0.40,
+          .base_rtt_ms = 105.0,
+          .rtt_jitter_cv = 0.35,
+          .loss_rate = 0.010,
+          .mean_dwell_s = 120.0};
+}
+
+NetworkProfile profile_cell_poor() {
+  return {.name = "cell_poor",
+          .mean_bandwidth_bps = 0.45e6,
+          .bandwidth_cv = 0.50,
+          .base_rtt_ms = 140.0,
+          .rtt_jitter_cv = 0.45,
+          .loss_rate = 0.018,
+          .mean_dwell_s = 90.0};
+}
+
+NetworkProfile profile_cell_outage() {
+  return {.name = "cell_outage",
+          .mean_bandwidth_bps = 0.12e6,
+          .bandwidth_cv = 0.60,
+          .base_rtt_ms = 220.0,
+          .rtt_jitter_cv = 0.55,
+          .loss_rate = 0.035,
+          .mean_dwell_s = 20.0};
+}
+
+std::vector<NetworkProfile> commute_states() {
+  auto fair = profile_cell_fair();
+  fair.mean_dwell_s = 45.0;
+  auto congested = profile_cell_congested();
+  congested.mean_dwell_s = 40.0;
+  auto poor = profile_cell_poor();
+  poor.mean_dwell_s = 35.0;
+  auto outage = profile_cell_outage();
+  outage.mean_dwell_s = 12.0;
+  return {fair, congested, poor, outage};
+}
+
+}  // namespace vqoe::net

@@ -1,0 +1,98 @@
+#include "vqoe/net/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::net {
+
+DownloadResult TcpModel::download(std::uint64_t size_bytes, const ChannelState& ch) {
+  if (size_bytes == 0) throw std::invalid_argument{"TcpModel::download: empty object"};
+
+  const double rtt_s = ch.rtt_ms / 1000.0;
+  const double bdp_bytes = ch.bandwidth_bps * rtt_s / 8.0;
+
+  // Per-download effective loss probability: the channel's rate plus bursty
+  // per-transfer variation.
+  std::lognormal_distribution<double> loss_spread(0.0, 0.6);
+  const double p = std::clamp(ch.loss_rate * loss_spread(rng_), 1e-6, 0.5);
+
+  // Mathis et al. steady-state cap: rate <= MSS/RTT * C/sqrt(p).
+  constexpr double kMathisC = 1.22;
+  const double mathis_bps = kMssBytes * 8.0 / rtt_s * kMathisC / std::sqrt(p);
+  const double sustain_bps = std::min(ch.bandwidth_bps, mathis_bps);
+  const double target_cwnd = std::max(kMssBytes, sustain_bps * rtt_s / 8.0);
+
+  // Slow start: cwnd doubles every RTT until it reaches the sustainable
+  // window or the object is finished.
+  double remaining = static_cast<double>(size_bytes);
+  double elapsed = rtt_s;  // HTTP request + first-byte latency
+  double cwnd = std::max(kMssBytes, cwnd_bytes_);
+  double bif_time_integral = 0.0;  // integral of bytes-in-flight over time
+  double transfer_time = 0.0;
+  double bif_max = std::min(cwnd, remaining);
+
+  while (remaining > 0.0 && cwnd < target_cwnd) {
+    const double in_flight = std::min(remaining, cwnd);
+    // One RTT delivers one window during slow start.
+    elapsed += rtt_s;
+    transfer_time += rtt_s;
+    bif_time_integral += in_flight * rtt_s;
+    bif_max = std::max(bif_max, in_flight);
+    remaining -= in_flight;
+    cwnd = std::min(target_cwnd, cwnd * 2.0);
+  }
+  if (remaining > 0.0) {
+    // Congestion-avoidance plateau: sustained rate, full window in flight.
+    const double in_flight = std::min(target_cwnd, remaining);
+    const double step = remaining * 8.0 / sustain_bps;
+    elapsed += step;
+    transfer_time += step;
+    bif_time_integral += in_flight * step;
+    bif_max = std::max(bif_max, in_flight);
+    remaining = 0.0;
+  }
+  cwnd_bytes_ = cwnd;
+
+  DownloadResult r;
+  r.duration_s = elapsed;
+  const double transfer_s = std::max(elapsed - rtt_s, 1e-6);
+  r.goodput_bps = static_cast<double>(size_bytes) * 8.0 / transfer_s;
+
+  // Queuing delay from standing data at the bottleneck: the excess of the
+  // window over the BDP drains at link rate.
+  const double excess_bytes = std::max(0.0, bif_max - bdp_bytes);
+  const double queue_ms = excess_bytes * 8.0 / ch.bandwidth_bps * 1000.0;
+
+  std::normal_distribution<double> jitter(1.0, 0.05);
+  TransportStats& s = r.stats;
+  s.rtt_min_ms = ch.rtt_ms * std::max(0.7, jitter(rng_) - 0.08);
+  s.rtt_avg_ms = (ch.rtt_ms + 0.5 * queue_ms) * std::max(0.75, jitter(rng_));
+  s.rtt_avg_ms = std::max(s.rtt_avg_ms, s.rtt_min_ms);
+  std::lognormal_distribution<double> spike(0.25, 0.25);
+  s.rtt_max_ms = std::max(s.rtt_avg_ms, (ch.rtt_ms + queue_ms) * spike(rng_));
+  s.bdp_bytes = bdp_bytes;
+  s.bif_avg_bytes = transfer_time > 0.0 ? bif_time_integral / transfer_time
+                                        : std::min(cwnd, static_cast<double>(size_bytes));
+  s.bif_avg_bytes = std::clamp(s.bif_avg_bytes, 0.0, bif_max);
+  s.bif_max_bytes = bif_max;
+
+  // Packet loss realized over the packets of this object.
+  const auto packets = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(size_bytes) / kMssBytes));
+  std::binomial_distribution<std::uint64_t> losses(packets, p);
+  const double lost = static_cast<double>(losses(rng_));
+  s.loss_pct = 100.0 * lost / static_cast<double>(packets);
+  // Retransmissions: every loss plus occasional spurious/timeout retransmits.
+  std::uniform_real_distribution<double> extra(1.0, 1.35);
+  s.retrans_pct = std::min(100.0, s.loss_pct * extra(rng_));
+  return r;
+}
+
+void TcpModel::idle(double dt) {
+  if (dt >= kIdleResetS) cwnd_bytes_ = kInitialWindowBytes;
+}
+
+void TcpModel::reset() { cwnd_bytes_ = kInitialWindowBytes; }
+
+}  // namespace vqoe::net

@@ -1,0 +1,79 @@
+#include "vqoe/sim/abr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vqoe::sim {
+
+ThroughputEstimator::ThroughputEstimator(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument{"ThroughputEstimator: alpha out of (0,1]"};
+  }
+}
+
+void ThroughputEstimator::observe(double goodput_bps, double reliability) {
+  if (goodput_bps <= 0.0) {
+    throw std::invalid_argument{"ThroughputEstimator: goodput must be > 0"};
+  }
+  const double inv = 1.0 / goodput_bps;
+  if (n_ == 0) {
+    inv_rate_ewma_ = inv;
+  } else {
+    const double a = alpha_ * std::clamp(reliability, 0.05, 1.0);
+    inv_rate_ewma_ = a * inv + (1.0 - a) * inv_rate_ewma_;
+  }
+  ++n_;
+}
+
+double ThroughputEstimator::estimate_bps() const {
+  if (n_ == 0 || inv_rate_ewma_ <= 0.0) return 0.0;
+  return 1.0 / inv_rate_ewma_;
+}
+
+Resolution AbrController::decide(const VideoDescription& video,
+                                 const ThroughputEstimator& estimator,
+                                 double buffer_s, Resolution current,
+                                 int segments_since_switch,
+                                 bool in_startup) const {
+  current = std::min(current, config_.max_resolution);
+  if (estimator.observations() == 0) {
+    return std::min(config_.initial, config_.max_resolution);
+  }
+
+  const double budget = estimator.estimate_bps() * config_.safety_factor;
+  const double current_bitrate = video.at(current).bitrate_bps;
+
+  if (in_startup) {
+    // Fast-start segments under-report throughput; only bail out of the
+    // start-up rung when it is clearly unsustainable.
+    if (current_bitrate > budget * config_.startup_drop_factor &&
+        current > Resolution::p144) {
+      return static_cast<Resolution>(static_cast<int>(current) - 1);
+    }
+    return current;
+  }
+
+  if (buffer_s < config_.panic_buffer_s && current > Resolution::p144 &&
+      current_bitrate > budget) {
+    // Panic: the buffer is thin and the rung is unsustainable — drop all
+    // the way to the throughput pick.
+    return std::min(video.best_under(budget).resolution, current);
+  }
+
+  if (current_bitrate > budget && current > Resolution::p144) {
+    // Unsustainable: step down one rung (gradual downscale).
+    return static_cast<Resolution>(static_cast<int>(current) - 1);
+  }
+
+  // Sustainable: consider one rung up, with hysteresis and dwell.
+  if (current < config_.max_resolution &&
+      segments_since_switch >= config_.min_dwell_segments) {
+    const auto next = static_cast<Resolution>(static_cast<int>(current) + 1);
+    if (video.at(next).bitrate_bps * config_.up_margin <= budget) {
+      return next;
+    }
+  }
+  return current;
+}
+
+}  // namespace vqoe::sim

@@ -1,0 +1,93 @@
+// Adaptive bitrate (ABR) control.
+//
+// Section 2.1: "The quality profile of the next segment is determined as a
+// function of the throughput with which the previous segment was downloaded
+// and the available seconds of playback in the buffer." This header provides
+// exactly that controller plus the throughput estimator it feeds on. The
+// controller is deliberately a classic rate-and-buffer hybrid (not a single
+// vendor's algorithm): the paper's detectors must generalize across
+// adaptation logics, and the workload generator can vary the controller's
+// aggressiveness per session.
+#pragma once
+
+#include <cstddef>
+
+#include "vqoe/sim/video.h"
+
+namespace vqoe::sim {
+
+/// Harmonic-mean-flavoured EWMA throughput estimator over observed chunk
+/// goodputs. Harmonic weighting makes the estimate conservative after slow
+/// chunks, matching player behaviour.
+class ThroughputEstimator {
+ public:
+  /// @param alpha EWMA weight of the newest observation, in (0, 1].
+  explicit ThroughputEstimator(double alpha = 0.35);
+
+  /// Records one chunk download's goodput (bits/second, > 0).
+  /// @param reliability in (0, 1]: down-weights observations from short
+  ///        downloads, whose goodput is dominated by slow start rather than
+  ///        by the path capacity. Clamped into [0.05, 1].
+  void observe(double goodput_bps, double reliability = 1.0);
+
+  /// Current estimate; 0 until the first observation.
+  [[nodiscard]] double estimate_bps() const;
+
+  [[nodiscard]] std::size_t observations() const { return n_; }
+
+ private:
+  double alpha_;
+  double inv_rate_ewma_ = 0.0;  // EWMA of 1/goodput (harmonic domain)
+  std::size_t n_ = 0;
+};
+
+/// Tunables of the hybrid ABR controller.
+struct AbrConfig {
+  /// Fraction of the throughput estimate the chosen bitrate may use.
+  double safety_factor = 0.8;
+  /// Below this buffer level (seconds) the controller panics one rung down.
+  double panic_buffer_s = 6.0;
+  /// Up-switch hysteresis: the next rung's bitrate must fit the budget with
+  /// this extra margin before switching up.
+  double up_margin = 1.25;
+  /// Minimum segments between consecutive up-switches (dwell).
+  int min_dwell_segments = 8;
+  /// During start-up, only drop the rung when it overshoots the budget by
+  /// this factor (fast-start segments systematically under-report
+  /// throughput, so the controller must not trust them blindly).
+  double startup_drop_factor = 1.3;
+  /// Start-up rung before any throughput knowledge exists.
+  Resolution initial = Resolution::p240;
+  /// Cap (user/player setting, data-saver plans, small screens).
+  Resolution max_resolution = Resolution::p1080;
+};
+
+/// Rate-and-buffer hybrid controller with up-switch hysteresis and dwell:
+/// picks the highest sustainable rung, steps up one rung at a time, drops
+/// immediately when the current rung stops being sustainable.
+class AbrController {
+ public:
+  explicit AbrController(AbrConfig config) : config_(config) {}
+
+  /// Decides the representation of the next segment.
+  /// @param video          content being played (supplies the ladder).
+  /// @param estimator      throughput knowledge so far.
+  /// @param buffer_s       seconds of media currently buffered.
+  /// @param current        representation of the previous segment.
+  /// @param segments_since_switch segments downloaded since the last
+  ///        representation change (dwell bookkeeping).
+  /// @param in_startup     true until playback has started for the first
+  ///        time (the fast-start phase).
+  [[nodiscard]] Resolution decide(const VideoDescription& video,
+                                  const ThroughputEstimator& estimator,
+                                  double buffer_s, Resolution current,
+                                  int segments_since_switch,
+                                  bool in_startup) const;
+
+  [[nodiscard]] const AbrConfig& config() const { return config_; }
+
+ private:
+  AbrConfig config_;
+};
+
+}  // namespace vqoe::sim

@@ -1,0 +1,166 @@
+// Video player simulation: HTTP Adaptive Streaming and traditional
+// progressive streaming.
+//
+// Reproduces the delivery mechanics Section 2.1 of the paper describes and
+// Section 4 exploits for detection:
+//
+//  * start-up phase: the buffer is filled as fast as possible before
+//    playback starts (fast start with short initial segments);
+//  * steady state: ON-OFF pacing once the buffer reaches its high
+//    watermark;
+//  * stalls: the buffer drains to zero when throughput is below the media
+//    bitrate, playback pauses, the player requests *small* chunks to refill
+//    quickly (the chunk-size signature of Fig. 1), and resumes at a
+//    threshold;
+//  * representation switches (HAS only): the ABR picks a new rung and a new
+//    start-up ramp begins, shrinking chunk sizes and inter-arrival times
+//    before they grow back (the Δsize/Δt signature of Fig. 3);
+//  * progressive sessions download one fixed representation with
+//    range-request bursts (pacing chunks), which is what the operator proxy
+//    logs for the 97% of sessions that were not adaptive.
+//
+// Both players consume a net::ChannelModel and a net::TcpModel and emit a
+// SessionResult: the per-chunk log (what an operator sees) plus the ground
+// truth (what the paper extracts from URIs and playback reports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vqoe/net/channel.h"
+#include "vqoe/net/tcp.h"
+#include "vqoe/sim/abr.h"
+#include "vqoe/sim/video.h"
+
+namespace vqoe::sim {
+
+/// One HTTP media object download as observed at the proxy, with the ground
+/// truth (resolution, audio flag) that is only visible in cleartext.
+struct ChunkEvent {
+  double request_time_s = 0.0;  ///< session-relative request timestamp
+  double arrival_time_s = 0.0;  ///< last byte at the client ("chunk time")
+  std::uint64_t size_bytes = 0;
+  Resolution resolution = Resolution::p360;  ///< ground truth (URI itag)
+  bool is_audio = false;                     ///< ground truth (URI mime)
+  net::TransportStats transport;
+};
+
+/// One rebuffering event (ground truth from playback reports).
+struct StallEvent {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Player tunables shared by both delivery modes.
+struct PlayerConfig {
+  double startup_buffer_s = 4.0;  ///< playback starts at this buffer level
+  double resume_buffer_s = 2.5;   ///< playback resumes after a stall at this
+  double high_watermark_s = 30.0; ///< ON-OFF pacing: pause download above
+  double low_watermark_s = 24.0;  ///< ... and resume download below this
+  AbrConfig abr;                  ///< HAS only
+  /// Media seconds per segment during the session-start fast-start ramp.
+  /// Moderately short segments: the point of fast start is requesting
+  /// back-to-back, not tiny objects.
+  std::vector<double> startup_ramp_segments_s = {2.5, 3.5};
+  /// Media seconds per segment when re-buffering after a representation
+  /// switch (the new rung's own start-up phase, Section 4.3).
+  std::vector<double> switch_ramp_segments_s = {1.0, 1.5, 2.5, 3.5};
+  /// Media seconds per segment while refilling after a buffer outage. The
+  /// player grabs the smallest useful pieces first so playback resumes as
+  /// soon as possible — the distinctly small chunks of Fig. 1.
+  std::vector<double> recovery_ramp_segments_s = {0.5, 1.0, 1.75, 2.5, 3.5};
+  /// On a representation switch the player plays the old-rung buffer down
+  /// to this horizon before fetching the new rung (Section 4.3: "a new
+  /// start-up phase is initiated for the new representation"). The drain
+  /// produces the inter-arrival spike of Fig. 3; the subsequent fast-start
+  /// ramp produces the small growing chunks.
+  double switch_keep_buffer_s = 4.0;
+  /// Progressive mode: steady-state range-request burst, expressed in media
+  /// seconds. YouTube's traditional delivery throttled the stream to a small
+  /// multiple of the playback rate, so burst *bytes* scale with the encode
+  /// bitrate — just like adaptive segments do.
+  double progressive_burst_media_s = 6.0;
+  /// Progressive mode: first recovery burst after a stall, media seconds
+  /// (doubles back up to the steady burst).
+  double progressive_recovery_media_s = 0.5;
+  /// Sessions whose rebuffering ratio exceeds this while playing are
+  /// abandoned (Krishnan & Sitaraman viewer-behaviour effect the paper
+  /// cites for its RR = 0.1 severity threshold).
+  double abandon_rr = 0.45;
+  /// HAS audio delivery. Muxed (default) folds the audio bitrate into every
+  /// video segment — the dominant YouTube mobile format of the paper's
+  /// measurement window. When true, audio ships as separate periodic
+  /// segments (DASH separated streams).
+  bool separate_audio = false;
+  /// Audio segment length when separate_audio is set (media seconds).
+  double audio_segment_s = 30.0;
+};
+
+/// Everything the simulator knows about one finished session.
+struct SessionResult {
+  std::string video_id;
+  bool adaptive = true;
+  std::vector<ChunkEvent> chunks;   ///< chronological
+  std::vector<StallEvent> stalls;   ///< chronological, closed
+  double startup_delay_s = 0.0;
+  double total_duration_s = 0.0;    ///< first request -> end of playback
+  double played_media_s = 0.0;
+  bool abandoned = false;
+
+  /// Ground-truth rebuffering ratio (eq. 1): Σ stall durations / session
+  /// duration. 0 for degenerate zero-length sessions.
+  [[nodiscard]] double rebuffering_ratio() const;
+  [[nodiscard]] double stall_total_s() const;
+
+  /// Media-time-weighted mean height of the video chunks — the μ of the
+  /// paper's RQ labelling rule.
+  [[nodiscard]] double average_height() const;
+
+  /// Number of representation changes between consecutive video chunks.
+  [[nodiscard]] std::size_t switch_count() const;
+
+  /// Switch amplitude A of eq. 2: mean absolute rung distance between
+  /// consecutive video segments; 0 when fewer than two video chunks.
+  [[nodiscard]] double switch_amplitude() const;
+
+  /// Video-only view of the chunk log (audio filtered out).
+  [[nodiscard]] std::vector<const ChunkEvent*> video_chunks() const;
+};
+
+/// HTTP Adaptive Streaming player (DASH-like).
+class HasPlayer {
+ public:
+  explicit HasPlayer(PlayerConfig config) : config_(std::move(config)) {}
+
+  /// Simulates one full session of `video` over `channel`.
+  /// @param seed private randomness (encoder noise, abandonment draw).
+  [[nodiscard]] SessionResult play(const VideoDescription& video,
+                                   net::ChannelModel& channel,
+                                   std::uint64_t seed) const;
+
+  [[nodiscard]] const PlayerConfig& config() const { return config_; }
+
+ private:
+  PlayerConfig config_;
+};
+
+/// Traditional progressive-download player: one representation, range
+/// request bursts, ON-OFF pacing.
+class ProgressivePlayer {
+ public:
+  explicit ProgressivePlayer(PlayerConfig config) : config_(std::move(config)) {}
+
+  /// Simulates one session at the fixed representation `rep`.
+  [[nodiscard]] SessionResult play(const VideoDescription& video,
+                                   Resolution rep, net::ChannelModel& channel,
+                                   std::uint64_t seed) const;
+
+  [[nodiscard]] const PlayerConfig& config() const { return config_; }
+
+ private:
+  PlayerConfig config_;
+};
+
+}  // namespace vqoe::sim

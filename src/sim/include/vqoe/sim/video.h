@@ -1,0 +1,77 @@
+// Video content model: representation ladders and catalogs.
+//
+// The dataset of Section 3 is YouTube: DASH representations at the standard
+// resolutions 144p/240p/360p/480p/720p/1080p ("in our dataset all the
+// observed resolutions take only a few standard values"), ~5 s media
+// segments, and an average session duration around 180 seconds. This header
+// models that content side: a bitrate ladder, a video description, and a
+// seeded catalog generator with realistic duration spread.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace vqoe::sim {
+
+/// The resolution rungs observed in the paper's dataset.
+enum class Resolution : std::uint8_t { p144, p240, p360, p480, p720, p1080 };
+
+inline constexpr int kNumResolutions = 6;
+
+/// Vertical pixel count (144, 240, ...). This is the unit of the paper's
+/// average-representation labelling rule (LD < 360 <= SD <= 480 < HD).
+[[nodiscard]] int height(Resolution r);
+
+/// Typical encoded video bitrate of a rung, in bits per second.
+[[nodiscard]] double nominal_bitrate_bps(Resolution r);
+
+/// Display name ("144p", ...).
+[[nodiscard]] std::string to_string(Resolution r);
+
+/// Resolution with the given height; throws std::invalid_argument otherwise.
+[[nodiscard]] Resolution resolution_from_height(int h);
+
+/// One encoding of a video.
+struct Representation {
+  Resolution resolution = Resolution::p360;
+  double bitrate_bps = 0.0;  ///< actual encode bitrate (content-dependent)
+};
+
+/// A playable item with its encoding ladder.
+struct VideoDescription {
+  std::string video_id;            ///< opaque content identifier
+  double duration_s = 180.0;       ///< media length
+  double segment_duration_s = 5.0; ///< HAS segment length (media seconds)
+  double audio_bitrate_bps = 128e3;
+  /// Ascending ladder; traditional (progressive) playback uses exactly one
+  /// entry of it.
+  std::vector<Representation> ladder;
+
+  /// Representation carrying a given resolution; throws std::out_of_range
+  /// when the ladder does not include it.
+  [[nodiscard]] const Representation& at(Resolution r) const;
+
+  /// Highest rung whose bitrate is <= `budget_bps` (falls back to the
+  /// lowest rung).
+  [[nodiscard]] const Representation& best_under(double budget_bps) const;
+};
+
+/// Seeded random catalog: durations log-normal around ~180 s (clamped to
+/// [30, 900] s), full six-rung ladders with +-15% content-dependent bitrate
+/// variation.
+class Catalog {
+ public:
+  Catalog(std::size_t size, std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<VideoDescription>& videos() const { return videos_; }
+
+  /// Uniformly random item.
+  [[nodiscard]] const VideoDescription& sample(std::mt19937_64& rng) const;
+
+ private:
+  std::vector<VideoDescription> videos_;
+};
+
+}  // namespace vqoe::sim

@@ -1,0 +1,402 @@
+#include "vqoe/sim/player.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace vqoe::sim {
+
+namespace {
+
+constexpr double kMediaEps = 1e-6;
+
+// Shared playback/buffer bookkeeping for both players: wall clock, playout
+// buffer, stall accounting, ON-OFF pacing and abandonment.
+class Playback {
+ public:
+  Playback(const PlayerConfig& cfg, net::TcpModel& tcp, SessionResult& out)
+      : cfg_(cfg), tcp_(tcp), out_(out) {}
+
+  [[nodiscard]] double now() const { return t_; }
+  [[nodiscard]] double buffer_s() const { return buffer_; }
+  [[nodiscard]] bool playing() const { return playing_; }
+  [[nodiscard]] bool stalled() const { return open_stall_.has_value(); }
+  /// True once playback has started at least once (start-up phase over).
+  [[nodiscard]] bool has_started() const { return started_; }
+
+  /// Wall time advances by `dt` while a download occupies the link; playback
+  /// consumes the buffer and may run dry (opening a stall).
+  void elapse(double dt) {
+    if (playing_) {
+      if (buffer_ >= dt) {
+        buffer_ -= dt;
+        played_ += dt;
+      } else {
+        played_ += buffer_;
+        open_stall_ = t_ + buffer_;
+        buffer_ = 0.0;
+        playing_ = false;
+      }
+    }
+    t_ += dt;
+  }
+
+  /// A downloaded segment adds media to the buffer.
+  void add_media(double seg_s) { buffer_ += seg_s; }
+
+  /// Plays out buffered media down to `keep_s` before the next download
+  /// (the pause preceding a representation switch: the player finishes the
+  /// old-rung content it already holds, then starts the new rung's own
+  /// start-up phase). No-op while not playing.
+  void drain_to(double keep_s) {
+    if (!playing_ || buffer_ <= keep_s) return;
+    const double dt = buffer_ - keep_s;
+    t_ += dt;
+    played_ += dt;
+    buffer_ = keep_s;
+    tcp_.idle(dt);
+  }
+
+  /// Starts or resumes playback when the relevant threshold is reached.
+  /// @param all_downloaded with nothing left to fetch, any buffered media
+  ///        resumes playback immediately.
+  void maybe_start(bool all_downloaded) {
+    if (playing_) return;
+    const double threshold = played_ == 0.0 && !open_stall_
+                                 ? cfg_.startup_buffer_s
+                                 : cfg_.resume_buffer_s;
+    if (buffer_ + kMediaEps >= threshold || (all_downloaded && buffer_ > 0.0)) {
+      playing_ = true;
+      started_ = true;
+      if (open_stall_) {
+        out_.stalls.push_back({*open_stall_, t_ - *open_stall_});
+        open_stall_.reset();
+      } else if (played_ == 0.0) {
+        out_.startup_delay_s = t_;
+      }
+    }
+  }
+
+  /// ON-OFF pacing: when the buffer exceeds the high watermark the download
+  /// pauses (OFF period).
+  /// @param drain_to_low true (progressive): classic bursty ON-OFF — stay
+  ///        OFF until the buffer drains to the low watermark, then burst.
+  ///        false (HAS): per-segment pacing — trim to the high watermark,
+  ///        so steady-state requests are spaced one segment apart.
+  void pace(bool drain_to_low) {
+    if (!playing_ || buffer_ <= cfg_.high_watermark_s) return;
+    const double target = drain_to_low ? cfg_.low_watermark_s : cfg_.high_watermark_s;
+    const double off = buffer_ - target;
+    t_ += off;
+    played_ += off;
+    buffer_ = target;
+    tcp_.idle(off);
+  }
+
+  /// True when the viewer gives up on a session that keeps rebuffering.
+  [[nodiscard]] bool should_abandon() const {
+    if (t_ <= 0.0) return false;
+    double stall = 0.0;
+    for (const StallEvent& s : out_.stalls) stall += s.duration_s;
+    if (open_stall_) stall += t_ - *open_stall_;
+    return played_ > 0.0 && stall / t_ > cfg_.abandon_rr;
+  }
+
+  /// Ends the session: plays out any remaining buffer (or cuts off when
+  /// abandoned) and fills in the result totals.
+  void finish(bool abandoned) {
+    if (abandoned) {
+      if (open_stall_) {
+        out_.stalls.push_back({*open_stall_, t_ - *open_stall_});
+        open_stall_.reset();
+      }
+      out_.abandoned = true;
+      out_.total_duration_s = t_;
+      out_.played_media_s = played_;
+      return;
+    }
+    maybe_start(/*all_downloaded=*/true);
+    played_ += buffer_;
+    out_.total_duration_s = t_ + buffer_;
+    buffer_ = 0.0;
+    out_.played_media_s = played_;
+  }
+
+  /// Signals that playback was just interrupted and the next requests should
+  /// use the recovery ramp. (Query-and-clear latch.)
+  [[nodiscard]] bool take_stall_latch() {
+    const bool v = stall_latch_;
+    stall_latch_ = false;
+    return v;
+  }
+  void arm_stall_latch() { stall_latch_ = true; }
+
+  void on_chunk_downloaded() {
+    if (!playing_ && open_stall_ && !stall_latch_armed_once_) {
+      // First download completing inside a stall arms the recovery ramp.
+      arm_stall_latch();
+      stall_latch_armed_once_ = true;
+    }
+    if (playing_) stall_latch_armed_once_ = false;
+  }
+
+ private:
+  const PlayerConfig& cfg_;
+  net::TcpModel& tcp_;
+  SessionResult& out_;
+  double t_ = 0.0;
+  double buffer_ = 0.0;
+  double played_ = 0.0;
+  bool playing_ = false;
+  bool started_ = false;
+  std::optional<double> open_stall_;
+  bool stall_latch_ = false;
+  bool stall_latch_armed_once_ = false;
+};
+
+}  // namespace
+
+double SessionResult::stall_total_s() const {
+  double total = 0.0;
+  for (const StallEvent& s : stalls) total += s.duration_s;
+  return total;
+}
+
+double SessionResult::rebuffering_ratio() const {
+  if (total_duration_s <= 0.0) return 0.0;
+  return std::min(1.0, stall_total_s() / total_duration_s);
+}
+
+std::vector<const ChunkEvent*> SessionResult::video_chunks() const {
+  std::vector<const ChunkEvent*> out;
+  out.reserve(chunks.size());
+  for (const ChunkEvent& c : chunks) {
+    if (!c.is_audio) out.push_back(&c);
+  }
+  return out;
+}
+
+double SessionResult::average_height() const {
+  const auto video = video_chunks();
+  if (video.empty()) return 0.0;
+  // Weight each chunk by the media time it carries, approximated by its
+  // share of bytes at its rung's bitrate.
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const ChunkEvent* c : video) {
+    const double media_s = static_cast<double>(c->size_bytes) * 8.0 /
+                           nominal_bitrate_bps(c->resolution);
+    weighted += static_cast<double>(height(c->resolution)) * media_s;
+    weight += media_s;
+  }
+  return weight > 0.0 ? weighted / weight : 0.0;
+}
+
+std::size_t SessionResult::switch_count() const {
+  const auto video = video_chunks();
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < video.size(); ++i) {
+    if (video[i]->resolution != video[i - 1]->resolution) ++switches;
+  }
+  return switches;
+}
+
+double SessionResult::switch_amplitude() const {
+  const auto video = video_chunks();
+  if (video.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < video.size(); ++i) {
+    total += std::abs(static_cast<int>(video[i]->resolution) -
+                      static_cast<int>(video[i - 1]->resolution));
+  }
+  return total / static_cast<double>(video.size() - 1);
+}
+
+SessionResult HasPlayer::play(const VideoDescription& video,
+                              net::ChannelModel& channel,
+                              std::uint64_t seed) const {
+  SessionResult out;
+  out.video_id = video.video_id;
+  out.adaptive = true;
+
+  std::mt19937_64 rng{seed};
+  net::TcpModel tcp{seed ^ 0x9e3779b97f4a7c15ULL};
+  Playback pb{config_, tcp, out};
+  ThroughputEstimator estimator;
+  AbrController abr{config_.abr};
+  // Segment sizes at a fixed rung are stable to within a few percent (CBR-
+  // leaning encodes); content-driven variation lives in the ladder bitrates.
+  std::uniform_real_distribution<double> encode_noise(0.98, 1.02);
+
+  Resolution current = std::min(config_.abr.initial, config_.abr.max_resolution);
+  const std::vector<double>* ramp = &config_.startup_ramp_segments_s;
+  std::size_t ramp_idx = 0;  // fast-start ramp at session begin
+  int segments_since_switch = 0;
+  double media_downloaded = 0.0;
+  double audio_downloaded = 0.0;
+  bool abandoned = false;
+
+  while (media_downloaded + kMediaEps < video.duration_s) {
+    // ABR decision for the next segment.
+    const Resolution next =
+        abr.decide(video, estimator, pb.buffer_s(), current,
+                   segments_since_switch, /*in_startup=*/!pb.has_started());
+    if (next != current) {
+      // A switch starts a new start-up phase at the new rung (Section 4.3):
+      // the player plays out most of the old-rung buffer, then re-buffers
+      // at the new quality starting from the smallest useful segments.
+      pb.drain_to(config_.switch_keep_buffer_s);
+      current = next;
+      ramp = &config_.switch_ramp_segments_s;
+      ramp_idx = 0;
+      segments_since_switch = 0;
+    }
+    if (pb.take_stall_latch()) {
+      ramp = &config_.recovery_ramp_segments_s;  // recover with small chunks
+      ramp_idx = 0;
+    }
+
+    double seg_s =
+        ramp_idx < ramp->size() ? (*ramp)[ramp_idx] : video.segment_duration_s;
+    ++ramp_idx;
+    seg_s = std::min(seg_s, video.duration_s - media_downloaded);
+    seg_s = std::max(seg_s, 0.25);
+
+    double bitrate = video.at(current).bitrate_bps;
+    if (!config_.separate_audio) bitrate += video.audio_bitrate_bps;  // muxed
+    const auto size_bytes = static_cast<std::uint64_t>(
+        std::max(1.0, bitrate * seg_s / 8.0 * encode_noise(rng)));
+
+    const net::ChannelState ch = channel.at(pb.now());
+    const net::DownloadResult dl = tcp.download(size_bytes, ch);
+
+    ChunkEvent ev;
+    ev.request_time_s = pb.now();
+    ev.arrival_time_s = pb.now() + dl.duration_s;
+    ev.size_bytes = size_bytes;
+    ev.resolution = current;
+    ev.is_audio = false;
+    ev.transport = dl.stats;
+    out.chunks.push_back(ev);
+
+    pb.elapse(dl.duration_s);
+    pb.add_media(seg_s);
+    media_downloaded += seg_s;
+    ++segments_since_switch;
+    // Short downloads under-report the path rate (slow start); weight them
+    // down in the estimate.
+    estimator.observe(dl.goodput_bps, std::min(1.0, dl.duration_s / 3.0));
+    pb.on_chunk_downloaded();
+
+    // Separated audio: keep the audio buffer level with the video buffer.
+    while (config_.separate_audio &&
+           audio_downloaded + config_.audio_segment_s / 2.0 < media_downloaded &&
+           audio_downloaded + kMediaEps < video.duration_s) {
+      const double audio_s =
+          std::min(config_.audio_segment_s, video.duration_s - audio_downloaded);
+      const auto audio_bytes = static_cast<std::uint64_t>(
+          std::max(1.0, video.audio_bitrate_bps * audio_s / 8.0));
+      const net::ChannelState ach = channel.at(pb.now());
+      const net::DownloadResult adl = tcp.download(audio_bytes, ach);
+      ChunkEvent aev;
+      aev.request_time_s = pb.now();
+      aev.arrival_time_s = pb.now() + adl.duration_s;
+      aev.size_bytes = audio_bytes;
+      aev.resolution = current;
+      aev.is_audio = true;
+      aev.transport = adl.stats;
+      out.chunks.push_back(aev);
+      pb.elapse(adl.duration_s);
+      audio_downloaded += audio_s;
+    }
+
+    pb.maybe_start(media_downloaded + kMediaEps >= video.duration_s);
+    pb.pace(/*drain_to_low=*/false);
+
+    if (pb.should_abandon()) {
+      std::bernoulli_distribution leave(0.7);
+      if (leave(rng)) {
+        abandoned = true;
+        break;
+      }
+    }
+  }
+
+  pb.finish(abandoned);
+  return out;
+}
+
+SessionResult ProgressivePlayer::play(const VideoDescription& video,
+                                      Resolution rep,
+                                      net::ChannelModel& channel,
+                                      std::uint64_t seed) const {
+  SessionResult out;
+  out.video_id = video.video_id;
+  out.adaptive = false;
+
+  std::mt19937_64 rng{seed};
+  net::TcpModel tcp{seed ^ 0xc2b2ae3d27d4eb4fULL};
+  Playback pb{config_, tcp, out};
+  std::uniform_real_distribution<double> encode_noise(0.95, 1.05);
+
+  // Audio is muxed into the progressive file.
+  const double bitrate =
+      video.at(rep).bitrate_bps + video.audio_bitrate_bps;
+  const double total_bytes = bitrate * video.duration_s / 8.0;
+  const double steady_burst_bytes =
+      bitrate * config_.progressive_burst_media_s / 8.0;
+
+  double downloaded_bytes = 0.0;
+  double burst = steady_burst_bytes;
+  bool abandoned = false;
+
+  while (downloaded_bytes + 1.0 < total_bytes) {
+    if (pb.take_stall_latch()) {
+      // Small recovery ranges refill the buffer fast after a stall.
+      burst = bitrate * config_.progressive_recovery_media_s / 8.0;
+    }
+    const auto size_bytes = static_cast<std::uint64_t>(std::max(
+        1.0,
+        std::min(burst * encode_noise(rng), total_bytes - downloaded_bytes)));
+    const double seg_s = static_cast<double>(size_bytes) * 8.0 / bitrate;
+
+    const net::ChannelState ch = channel.at(pb.now());
+    const net::DownloadResult dl = tcp.download(size_bytes, ch);
+
+    ChunkEvent ev;
+    ev.request_time_s = pb.now();
+    ev.arrival_time_s = pb.now() + dl.duration_s;
+    ev.size_bytes = size_bytes;
+    ev.resolution = rep;
+    ev.is_audio = false;
+    ev.transport = dl.stats;
+    out.chunks.push_back(ev);
+
+    pb.elapse(dl.duration_s);
+    pb.add_media(seg_s);
+    downloaded_bytes += static_cast<double>(size_bytes);
+    pb.on_chunk_downloaded();
+
+    // Range bursts grow back toward the steady size after recovery.
+    if (burst < steady_burst_bytes) {
+      burst = std::min(steady_burst_bytes, burst * 2.0);
+    }
+
+    pb.maybe_start(downloaded_bytes + 1.0 >= total_bytes);
+    pb.pace(/*drain_to_low=*/true);
+
+    if (pb.should_abandon()) {
+      std::bernoulli_distribution leave(0.7);
+      if (leave(rng)) {
+        abandoned = true;
+        break;
+      }
+    }
+  }
+
+  pb.finish(abandoned);
+  return out;
+}
+
+}  // namespace vqoe::sim

@@ -1,0 +1,90 @@
+#include "vqoe/sim/video.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqoe::sim {
+
+namespace {
+
+struct RungInfo {
+  Resolution res;
+  int height;
+  double bitrate_bps;
+};
+
+constexpr std::array<RungInfo, kNumResolutions> kLadder{{
+    {Resolution::p144, 144, 110e3},
+    {Resolution::p240, 240, 250e3},
+    {Resolution::p360, 360, 520e3},
+    {Resolution::p480, 480, 1050e3},
+    {Resolution::p720, 720, 2500e3},
+    {Resolution::p1080, 1080, 4500e3},
+}};
+
+const RungInfo& info(Resolution r) {
+  return kLadder[static_cast<std::size_t>(r)];
+}
+
+}  // namespace
+
+int height(Resolution r) { return info(r).height; }
+
+double nominal_bitrate_bps(Resolution r) { return info(r).bitrate_bps; }
+
+std::string to_string(Resolution r) { return std::to_string(info(r).height) + "p"; }
+
+Resolution resolution_from_height(int h) {
+  for (const RungInfo& rung : kLadder) {
+    if (rung.height == h) return rung.res;
+  }
+  throw std::invalid_argument{"resolution_from_height: unknown height " +
+                              std::to_string(h)};
+}
+
+const Representation& VideoDescription::at(Resolution r) const {
+  for (const Representation& rep : ladder) {
+    if (rep.resolution == r) return rep;
+  }
+  throw std::out_of_range{"VideoDescription: ladder lacks " + to_string(r)};
+}
+
+const Representation& VideoDescription::best_under(double budget_bps) const {
+  if (ladder.empty()) throw std::out_of_range{"VideoDescription: empty ladder"};
+  const Representation* best = &ladder.front();
+  for (const Representation& rep : ladder) {
+    if (rep.bitrate_bps <= budget_bps &&
+        rep.bitrate_bps >= best->bitrate_bps) {
+      best = &rep;
+    }
+  }
+  return *best;
+}
+
+Catalog::Catalog(std::size_t size, std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  // Log-normal with median ~150 s, mean ~180 s: sigma 0.6.
+  std::lognormal_distribution<double> duration(std::log(150.0), 0.6);
+  std::uniform_real_distribution<double> encode_var(0.85, 1.15);
+  videos_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    VideoDescription v;
+    v.video_id = "vid-" + std::to_string(i);
+    v.duration_s = std::clamp(duration(rng), 30.0, 900.0);
+    v.segment_duration_s = 5.0;
+    for (const RungInfo& rung : kLadder) {
+      v.ladder.push_back({rung.res, rung.bitrate_bps * encode_var(rng)});
+    }
+    videos_.push_back(std::move(v));
+  }
+}
+
+const VideoDescription& Catalog::sample(std::mt19937_64& rng) const {
+  if (videos_.empty()) throw std::out_of_range{"Catalog: empty"};
+  std::uniform_int_distribution<std::size_t> pick(0, videos_.size() - 1);
+  return videos_[pick(rng)];
+}
+
+}  // namespace vqoe::sim

@@ -1,0 +1,143 @@
+#include "vqoe/trace/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vqoe::trace {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep = ',') {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is{line};
+  while (std::getline(is, field, sep)) out.push_back(field);
+  return out;
+}
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error{"cannot open for writing: " + path.string()};
+  os.precision(10);
+  return os;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream is{path};
+  if (!is) throw std::runtime_error{"cannot open for reading: " + path.string()};
+  return is;
+}
+
+constexpr int kWeblogFields = 19;
+constexpr int kTruthFields = 14;
+
+}  // namespace
+
+void write_weblogs_csv(const std::filesystem::path& path,
+                       const std::vector<WeblogRecord>& records) {
+  auto os = open_out(path);
+  os << "subscriber,timestamp_s,transaction_time_s,size_bytes,host,kind,"
+        "encrypted,cached,rtt_min_ms,rtt_avg_ms,rtt_max_ms,bdp_bytes,"
+        "bif_avg_bytes,bif_max_bytes,loss_pct,retrans_pct,session_id,"
+        "itag_height,is_audio\n";
+  for (const WeblogRecord& r : records) {
+    os << r.subscriber_id << ',' << r.timestamp_s << ',' << r.transaction_time_s
+       << ',' << r.object_size_bytes << ',' << r.host << ','
+       << static_cast<int>(r.kind) << ',' << (r.encrypted ? 1 : 0) << ','
+       << (r.served_from_cache ? 1 : 0) << ',' << r.transport.rtt_min_ms << ','
+       << r.transport.rtt_avg_ms << ',' << r.transport.rtt_max_ms << ','
+       << r.transport.bdp_bytes << ',' << r.transport.bif_avg_bytes << ','
+       << r.transport.bif_max_bytes << ',' << r.transport.loss_pct << ','
+       << r.transport.retrans_pct << ',' << r.session_id << ','
+       << r.itag_height << ',' << (r.is_audio ? 1 : 0) << '\n';
+  }
+}
+
+std::vector<WeblogRecord> read_weblogs_csv(const std::filesystem::path& path) {
+  auto is = open_in(path);
+  std::string line;
+  std::getline(is, line);  // header
+  std::vector<WeblogRecord> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line);
+    if (f.size() != kWeblogFields) {
+      throw std::runtime_error{"malformed weblog CSV row: " + line};
+    }
+    WeblogRecord r;
+    r.subscriber_id = f[0];
+    r.timestamp_s = std::stod(f[1]);
+    r.transaction_time_s = std::stod(f[2]);
+    r.object_size_bytes = std::stoull(f[3]);
+    r.host = f[4];
+    r.kind = static_cast<RecordKind>(std::stoi(f[5]));
+    r.encrypted = f[6] == "1";
+    r.served_from_cache = f[7] == "1";
+    r.transport.rtt_min_ms = std::stod(f[8]);
+    r.transport.rtt_avg_ms = std::stod(f[9]);
+    r.transport.rtt_max_ms = std::stod(f[10]);
+    r.transport.bdp_bytes = std::stod(f[11]);
+    r.transport.bif_avg_bytes = std::stod(f[12]);
+    r.transport.bif_max_bytes = std::stod(f[13]);
+    r.transport.loss_pct = std::stod(f[14]);
+    r.transport.retrans_pct = std::stod(f[15]);
+    r.session_id = f[16];
+    r.itag_height = std::stoi(f[17]);
+    r.is_audio = f[18] == "1";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void write_ground_truth_csv(const std::filesystem::path& path,
+                            const std::vector<SessionGroundTruth>& truths) {
+  auto os = open_out(path);
+  os << "session_id,subscriber,start_time_s,total_duration_s,adaptive,"
+        "abandoned,media_chunks,stall_count,stall_duration_s,"
+        "rebuffering_ratio,average_height,switch_count,switch_amplitude,"
+        "startup_delay_s\n";
+  for (const SessionGroundTruth& t : truths) {
+    os << t.session_id << ',' << t.subscriber_id << ',' << t.start_time_s << ','
+       << t.total_duration_s << ',' << (t.adaptive ? 1 : 0) << ','
+       << (t.abandoned ? 1 : 0) << ',' << t.media_chunk_count << ','
+       << t.stall_count << ',' << t.stall_duration_s << ','
+       << t.rebuffering_ratio << ',' << t.average_height << ','
+       << t.switch_count << ',' << t.switch_amplitude << ','
+       << t.startup_delay_s << '\n';
+  }
+}
+
+std::vector<SessionGroundTruth> read_ground_truth_csv(
+    const std::filesystem::path& path) {
+  auto is = open_in(path);
+  std::string line;
+  std::getline(is, line);  // header
+  std::vector<SessionGroundTruth> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line);
+    if (f.size() != kTruthFields) {
+      throw std::runtime_error{"malformed ground-truth CSV row: " + line};
+    }
+    SessionGroundTruth t;
+    t.session_id = f[0];
+    t.subscriber_id = f[1];
+    t.start_time_s = std::stod(f[2]);
+    t.total_duration_s = std::stod(f[3]);
+    t.adaptive = f[4] == "1";
+    t.abandoned = f[5] == "1";
+    t.media_chunk_count = std::stoull(f[6]);
+    t.stall_count = std::stoi(f[7]);
+    t.stall_duration_s = std::stod(f[8]);
+    t.rebuffering_ratio = std::stod(f[9]);
+    t.average_height = std::stod(f[10]);
+    t.switch_count = static_cast<std::size_t>(std::stoull(f[11]));
+    t.switch_amplitude = std::stod(f[12]);
+    t.startup_delay_s = std::stod(f[13]);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace vqoe::trace

@@ -1,0 +1,35 @@
+// CSV persistence for weblogs and ground truth.
+//
+// The operator deployment separates collection from analysis: the proxy
+// writes logs continuously, models are trained offline. These helpers store
+// and reload the two artifacts (weblog records and per-session ground
+// truth) in a simple headered CSV format so the example programs and the
+// bench harnesses can hand datasets across process boundaries.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+
+namespace vqoe::trace {
+
+/// Writes records as CSV (header + one line per record). Throws
+/// std::runtime_error when the file cannot be opened.
+void write_weblogs_csv(const std::filesystem::path& path,
+                       const std::vector<WeblogRecord>& records);
+
+/// Reads records written by write_weblogs_csv. Throws std::runtime_error on
+/// open failure or malformed rows.
+[[nodiscard]] std::vector<WeblogRecord> read_weblogs_csv(
+    const std::filesystem::path& path);
+
+/// Writes per-session ground truth as CSV.
+void write_ground_truth_csv(const std::filesystem::path& path,
+                            const std::vector<SessionGroundTruth>& truths);
+
+/// Reads ground truth written by write_ground_truth_csv.
+[[nodiscard]] std::vector<SessionGroundTruth> read_ground_truth_csv(
+    const std::filesystem::path& path);
+
+}  // namespace vqoe::trace

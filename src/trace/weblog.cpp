@@ -1,0 +1,200 @@
+#include "vqoe/trace/weblog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vqoe/sim/video.h"
+
+namespace vqoe::trace {
+
+std::string make_session_id(std::mt19937_64& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  std::uniform_int_distribution<std::size_t> pick(0, sizeof(kAlphabet) - 2);
+  std::string id(16, '?');
+  for (char& c : id) c = kAlphabet[pick(rng)];
+  return id;
+}
+
+namespace {
+
+// Transport annotations for the small signalling/page objects: they ride the
+// same path as the media but are too small to exercise the window, so only
+// RTT-level fields carry signal.
+net::TransportStats small_object_stats(const net::TransportStats& reference,
+                                       std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> jitter(0.9, 1.15);
+  net::TransportStats s;
+  s.rtt_min_ms = reference.rtt_min_ms * jitter(rng);
+  s.rtt_avg_ms = std::max(s.rtt_min_ms, reference.rtt_avg_ms * jitter(rng));
+  s.rtt_max_ms = std::max(s.rtt_avg_ms, reference.rtt_max_ms * jitter(rng));
+  s.bdp_bytes = reference.bdp_bytes;
+  s.bif_avg_bytes = net::TcpModel::kMssBytes;
+  s.bif_max_bytes = 2 * net::TcpModel::kMssBytes;
+  s.loss_pct = 0.0;
+  s.retrans_pct = 0.0;
+  return s;
+}
+
+}  // namespace
+
+RenderedSession to_weblogs(const sim::SessionResult& session,
+                           const WeblogOptions& options, std::mt19937_64& rng) {
+  RenderedSession out;
+  std::string session_id =
+      options.session_id.empty() ? make_session_id(rng) : options.session_id;
+
+  // Fallback transport reference when the session somehow has no chunks.
+  net::TransportStats reference;
+  reference.rtt_min_ms = reference.rtt_avg_ms = reference.rtt_max_ms = 60.0;
+  reference.bdp_bytes = 30000.0;
+  if (!session.chunks.empty()) reference = session.chunks.front().transport;
+
+  // Watch-page objects shortly before the first media request.
+  std::uniform_real_distribution<double> page_gap(0.08, 0.5);
+  std::uniform_int_distribution<std::uint64_t> page_size(2'000, 180'000);
+  std::bernoulli_distribution cached(options.cache_hit_rate);
+  double page_t = options.start_time_s;
+  for (int i = 0; i < options.page_objects; ++i) {
+    WeblogRecord r;
+    r.subscriber_id = options.subscriber_id;
+    r.timestamp_s = page_t;
+    r.transaction_time_s = reference.rtt_avg_ms / 1000.0 * 2.0;
+    r.object_size_bytes = page_size(rng);
+    r.host = i == 0 ? options.page_host : options.thumbnail_host;
+    r.kind = RecordKind::page_object;
+    r.served_from_cache = cached(rng);
+    r.transport = small_object_stats(reference, rng);
+    r.session_id = session_id;
+    out.records.push_back(std::move(r));
+    page_t += page_gap(rng);
+  }
+
+  const double media_base = page_t + page_gap(rng);
+
+  // Media chunks.
+  for (const sim::ChunkEvent& c : session.chunks) {
+    WeblogRecord r;
+    r.subscriber_id = options.subscriber_id;
+    r.timestamp_s = media_base + c.request_time_s;
+    r.transaction_time_s = c.arrival_time_s - c.request_time_s;
+    r.object_size_bytes = c.size_bytes;
+    r.host = options.cdn_host;
+    r.kind = RecordKind::media;
+    r.transport = c.transport;
+    r.session_id = session_id;
+    r.itag_height = sim::height(c.resolution);
+    r.is_audio = c.is_audio;
+    out.records.push_back(std::move(r));
+  }
+
+  // Periodic playback statistics beacons, each summarizing the stalls since
+  // the previous report, plus a final report at session end.
+  double reported_until = 0.0;
+  auto stall_in_window = [&](double from, double to) {
+    int count = 0;
+    double duration = 0.0;
+    for (const sim::StallEvent& s : session.stalls) {
+      if (s.start_s >= from && s.start_s < to) {
+        ++count;
+        duration += s.duration_s;
+      }
+    }
+    return std::pair{count, duration};
+  };
+  for (double t = options.report_interval_s; t < session.total_duration_s;
+       t += options.report_interval_s) {
+    const auto [count, duration] = stall_in_window(reported_until, t);
+    WeblogRecord r;
+    r.subscriber_id = options.subscriber_id;
+    r.timestamp_s = media_base + t;
+    r.transaction_time_s = reference.rtt_avg_ms / 1000.0;
+    r.object_size_bytes = 900;
+    r.host = options.report_host;  // /api/stats/watchtime
+    r.kind = RecordKind::playback_report;
+    r.transport = small_object_stats(reference, rng);
+    r.session_id = session_id;
+    r.report_stall_count = count;
+    r.report_stall_duration_s = duration;
+    out.records.push_back(std::move(r));
+    reported_until = t;
+  }
+  {
+    const auto [count, duration] =
+        stall_in_window(reported_until, session.total_duration_s + 1.0);
+    WeblogRecord r;
+    r.subscriber_id = options.subscriber_id;
+    r.timestamp_s = media_base + session.total_duration_s;
+    r.transaction_time_s = reference.rtt_avg_ms / 1000.0;
+    r.object_size_bytes = 900;
+    r.host = options.report_host;
+    r.kind = RecordKind::playback_report;
+    r.transport = small_object_stats(reference, rng);
+    r.session_id = session_id;
+    r.report_stall_count = count;
+    r.report_stall_duration_s = duration;
+    out.records.push_back(std::move(r));
+  }
+
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const WeblogRecord& a, const WeblogRecord& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+
+  SessionGroundTruth& truth = out.truth;
+  truth.session_id = session_id;
+  truth.subscriber_id = options.subscriber_id;
+  truth.start_time_s = media_base;
+  truth.total_duration_s = session.total_duration_s;
+  truth.startup_delay_s = session.startup_delay_s;
+  truth.adaptive = session.adaptive;
+  truth.abandoned = session.abandoned;
+  truth.media_chunk_count = session.chunks.size();
+  truth.stall_count = static_cast<int>(session.stalls.size());
+  truth.stall_duration_s = session.stall_total_s();
+  truth.rebuffering_ratio = session.rebuffering_ratio();
+  truth.average_height = session.average_height();
+  truth.switch_count = session.switch_count();
+  truth.switch_amplitude = session.switch_amplitude();
+  return out;
+}
+
+std::vector<WeblogRecord> encrypt_view(std::vector<WeblogRecord> records) {
+  for (WeblogRecord& r : records) {
+    r.encrypted = true;
+    r.session_id.clear();
+    r.itag_height = 0;
+    r.is_audio = false;
+    r.report_stall_count = 0;
+    r.report_stall_duration_s = 0.0;
+    // TLS hides the URL path; SNI/DNS still reveal the host, which the
+    // session reconstruction of Section 5.2 relies on.
+  }
+  return records;
+}
+
+std::vector<WeblogRecord> remove_cached(std::vector<WeblogRecord> records) {
+  std::erase_if(records,
+                [](const WeblogRecord& r) { return r.served_from_cache; });
+  return records;
+}
+
+std::map<std::string, std::vector<WeblogRecord>> group_by_session_id(
+    const std::vector<WeblogRecord>& records) {
+  std::map<std::string, std::vector<WeblogRecord>> groups;
+  for (const WeblogRecord& r : records) {
+    if (r.kind != RecordKind::media || r.encrypted || r.session_id.empty()) {
+      continue;
+    }
+    groups[r.session_id].push_back(r);
+  }
+  for (auto& [id, chunks] : groups) {
+    std::stable_sort(chunks.begin(), chunks.end(),
+                     [](const WeblogRecord& a, const WeblogRecord& b) {
+                       return a.timestamp_s < b.timestamp_s;
+                     });
+  }
+  return groups;
+}
+
+}  // namespace vqoe::trace

@@ -1,0 +1,77 @@
+#include "vqoe/ts/cusum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "vqoe/ts/summary.h"
+
+namespace vqoe::ts {
+
+std::vector<double> cusum_chart(std::span<const double> series,
+                                std::optional<double> mu) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  const double reference = mu.value_or(mean(series));
+  double acc = 0.0;
+  for (double x : series) {
+    acc += x - reference;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double cusum_std(std::span<const double> series) {
+  if (series.size() < 2) return 0.0;
+  const auto chart = cusum_chart(series);
+  return std_dev(chart);
+}
+
+PageCusum::PageCusum(double mu, double drift, double threshold)
+    : mu_(mu), drift_(drift), threshold_(threshold) {
+  if (drift < 0.0) throw std::invalid_argument{"PageCusum: drift must be >= 0"};
+  if (threshold <= 0.0) throw std::invalid_argument{"PageCusum: threshold must be > 0"};
+}
+
+bool PageCusum::step(double x) {
+  g_pos_ = std::max(0.0, g_pos_ + x - mu_ - drift_);
+  g_neg_ = std::max(0.0, g_neg_ - x + mu_ - drift_);
+  if (g_pos_ > threshold_ || g_neg_ > threshold_) {
+    reset();
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> PageCusum::detect(std::span<const double> series) {
+  std::vector<std::size_t> alarms;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (step(series[i])) alarms.push_back(i);
+  }
+  return alarms;
+}
+
+void PageCusum::reset() {
+  g_pos_ = 0.0;
+  g_neg_ = 0.0;
+}
+
+std::vector<double> deltas(std::span<const double> series) {
+  std::vector<double> out;
+  if (series.size() < 2) return out;
+  out.reserve(series.size() - 1);
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    out.push_back(series[i + 1] - series[i]);
+  }
+  return out;
+}
+
+std::vector<double> product(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  std::vector<double> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(a[i] * b[i]);
+  return out;
+}
+
+}  // namespace vqoe::ts

@@ -1,0 +1,45 @@
+#include "vqoe/ts/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vqoe::ts {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  if (idx == 0) return sorted_.front();
+  return sorted_[std::min(idx - 1, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Ecdf::grid(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  if (points == 1 || hi == lo) {
+    out.emplace_back(lo, (*this)(lo));
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + static_cast<double>(i) * step;
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+}  // namespace vqoe::ts

@@ -1,0 +1,78 @@
+// Cumulative-sum change detection (E.S. Page, Biometrika 1954).
+//
+// Section 4.3 of the paper detects representation-quality switches with a
+// CUSUM control chart over the per-session series Δsize × Δt (chunk size
+// delta times chunk inter-arrival delta): "instead of thresholds we use the
+// standard deviation of the output of the change detection algorithm" and a
+// fixed decision threshold of 500 on that standard deviation (eq. 3).
+//
+// Two flavours are provided:
+//  * cusum_chart()  — the classic control chart S_t = Σ_{i<=t} (x_i - μ̂),
+//    whose standard deviation is the paper's detector statistic;
+//  * PageCusum      — the textbook one-sided/two-sided Page test with drift
+//    and decision threshold, used by the tests and the ablation benches to
+//    locate individual change points.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vqoe::ts {
+
+/// Classic CUSUM control chart: S_0 = 0, S_t = S_{t-1} + (x_t - mu).
+/// When `mu` is not given, the sample mean of `series` is used (the chart
+/// then always ends at ~0 and drifts away from 0 around mean shifts).
+/// Returns a series of the same length as the input.
+[[nodiscard]] std::vector<double> cusum_chart(std::span<const double> series,
+                                              std::optional<double> mu = std::nullopt);
+
+/// The paper's detector statistic: the standard deviation of the CUSUM
+/// control chart of `series` (eq. 3 applies this to Δsize × Δt). Returns 0
+/// for series shorter than 2 points.
+[[nodiscard]] double cusum_std(std::span<const double> series);
+
+/// Two-sided Page CUSUM test. Maintains the usual recursions
+///   G+_t = max(0, G+_{t-1} + x_t - mu - drift)
+///   G-_t = max(0, G-_{t-1} - x_t + mu - drift)
+/// and reports an alarm whenever either statistic exceeds `threshold`,
+/// resetting afterwards.
+class PageCusum {
+ public:
+  /// @param mu        reference (in-control) mean of the watched series.
+  /// @param drift     slack value k; changes smaller than `drift` per step
+  ///                  are absorbed. Must be >= 0.
+  /// @param threshold decision interval h; must be > 0.
+  PageCusum(double mu, double drift, double threshold);
+
+  /// Feeds one observation. Returns true when an alarm fires at this step.
+  bool step(double x);
+
+  /// Feeds a full series and returns the 0-based indices of every alarm.
+  [[nodiscard]] std::vector<std::size_t> detect(std::span<const double> series);
+
+  /// Resets the accumulated statistics (done automatically after an alarm).
+  void reset();
+
+  [[nodiscard]] double positive_statistic() const { return g_pos_; }
+  [[nodiscard]] double negative_statistic() const { return g_neg_; }
+
+ private:
+  double mu_;
+  double drift_;
+  double threshold_;
+  double g_pos_ = 0.0;
+  double g_neg_ = 0.0;
+};
+
+/// First differences: out[i] = series[i+1] - series[i]; size n-1 (empty for
+/// n < 2). Used to build Δsize and Δt from chunk sizes and arrival times.
+[[nodiscard]] std::vector<double> deltas(std::span<const double> series);
+
+/// Element-wise product of two equally sized series (the Δsize × Δt signal).
+/// Precondition: a.size() == b.size().
+[[nodiscard]] std::vector<double> product(std::span<const double> a,
+                                          std::span<const double> b);
+
+}  // namespace vqoe::ts

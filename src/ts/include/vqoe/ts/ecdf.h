@@ -1,0 +1,48 @@
+// Empirical cumulative distribution functions.
+//
+// The paper reports several distributions as ECDF/CDF plots (Fig. 2: stalls
+// per session and rebuffering ratio; Fig. 4: CUSUM-std detector output;
+// Fig. 5: segment sizes and inter-arrival times). The bench harnesses print
+// these curves as (x, F(x)) rows; this class provides the evaluation and a
+// fixed-grid sampling helper so that two curves can be printed side by side.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vqoe::ts {
+
+/// Immutable empirical CDF of a numeric sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+
+  /// Builds the ECDF; the input need not be sorted. Empty samples produce an
+  /// ECDF that evaluates to 0 everywhere.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// Fraction of the sample that is <= x, in [0, 1].
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Smallest sample value v such that F(v) >= q (the q-quantile, q in
+  /// [0, 1]). Returns 0.0 for an empty sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+  /// The sorted underlying sample (ascending).
+  [[nodiscard]] const std::vector<double>& sorted_sample() const { return sorted_; }
+
+  /// Evaluates the ECDF on `points` evenly spaced x values covering
+  /// [min, max] (inclusive). Returns (x, F(x)) pairs. Useful for printing
+  /// comparable curves.
+  [[nodiscard]] std::vector<std::pair<double, double>> grid(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace vqoe::ts

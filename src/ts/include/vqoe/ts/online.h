@@ -1,0 +1,51 @@
+// Single-pass (online) accumulators.
+//
+// The operator-side deployment sketched in Section 8 of the paper applies the
+// trained models to passively monitored traffic "in real time". To support a
+// streaming deployment, this header provides numerically stable one-pass
+// accumulators (Welford's algorithm) that the live pipeline can keep per
+// in-flight video session without buffering every chunk.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace vqoe::ts {
+
+/// Welford online mean/variance plus min/max over a stream of doubles.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divides by n); 0 for fewer than 2 observations.
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double std_dev() const;
+
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace vqoe::ts

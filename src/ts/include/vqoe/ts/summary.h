@@ -1,0 +1,69 @@
+// Summary statistics over small numeric samples.
+//
+// The QoE framework of Dimopoulos et al. (IMC'16) builds its feature vectors
+// by reducing each per-chunk metric of a video session (RTT, chunk size,
+// bytes-in-flight, ...) to a fixed set of summary statistics: minimum, mean,
+// maximum, standard deviation and a list of percentiles (Section 4.1 uses
+// {25, 50, 75}; Section 4.2 uses {5, 10, 15, 20, 25, 50, 75, 80, 85, 90, 95}).
+//
+// This header provides those reductions with well-defined behaviour on empty
+// samples and a uniform naming scheme ("metric:stat") that the feature
+// construction layer relies on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vqoe::ts {
+
+/// Identifier of a single summary statistic. Percentiles are expressed by
+/// Statistic{Kind::percentile, p} with p in (0, 100).
+struct Statistic {
+  enum class Kind { minimum, maximum, mean, std_dev, percentile };
+
+  Kind kind = Kind::mean;
+  double percentile = 0.0;  ///< Only meaningful when kind == percentile.
+
+  /// Canonical short name used to build feature names, e.g. "min", "std",
+  /// "p25". Percentile values are printed without a fractional part when
+  /// integral.
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] bool operator==(const Statistic&) const = default;
+};
+
+/// The 7-statistic set of Section 4.1 (stall detection): min, max, mean,
+/// std. deviation, 25th/50th/75th percentiles.
+[[nodiscard]] const std::vector<Statistic>& stall_statistic_set();
+
+/// The 15-statistic set of Section 4.2 (average representation detection):
+/// min, mean, max, std. deviation and the 5/10/15/20/25/50/75/80/85/90/95th
+/// percentiles.
+[[nodiscard]] const std::vector<Statistic>& representation_statistic_set();
+
+/// Computes one statistic over a sample. Returns 0.0 for an empty sample
+/// (sessions with a single chunk still need a defined feature vector).
+/// The sample does not need to be sorted.
+[[nodiscard]] double compute(Statistic stat, std::span<const double> sample);
+
+/// Linear-interpolation percentile (same convention as numpy's default):
+/// p in [0, 100]. Returns 0.0 on an empty sample. O(n log n).
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Percentile over a sample that is already sorted ascending. O(1).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Arithmetic mean; 0.0 on empty input.
+[[nodiscard]] double mean(std::span<const double> sample);
+
+/// Population standard deviation; 0.0 on samples of size < 2.
+[[nodiscard]] double std_dev(std::span<const double> sample);
+
+/// Computes every statistic in `stats` over `sample` in one pass over a
+/// single sorted copy. Result order matches `stats`.
+[[nodiscard]] std::vector<double> compute_all(std::span<const Statistic> stats,
+                                              std::span<const double> sample);
+
+}  // namespace vqoe::ts

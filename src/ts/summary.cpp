@@ -1,0 +1,143 @@
+#include "vqoe/ts/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vqoe::ts {
+
+std::string Statistic::name() const {
+  switch (kind) {
+    case Kind::minimum:
+      return "min";
+    case Kind::maximum:
+      return "max";
+    case Kind::mean:
+      return "mean";
+    case Kind::std_dev:
+      return "std";
+    case Kind::percentile: {
+      const auto rounded = static_cast<long long>(percentile);
+      if (static_cast<double>(rounded) == percentile) {
+        return "p" + std::to_string(rounded);
+      }
+      return "p" + std::to_string(percentile);
+    }
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<Statistic> make_set(std::span<const double> percentiles) {
+  std::vector<Statistic> out{
+      {Statistic::Kind::minimum, 0.0},
+      {Statistic::Kind::maximum, 0.0},
+      {Statistic::Kind::mean, 0.0},
+      {Statistic::Kind::std_dev, 0.0},
+  };
+  for (double p : percentiles) {
+    out.push_back({Statistic::Kind::percentile, p});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Statistic>& stall_statistic_set() {
+  static const std::vector<Statistic> set = [] {
+    const double ps[] = {25, 50, 75};
+    return make_set(ps);
+  }();
+  return set;
+}
+
+const std::vector<Statistic>& representation_statistic_set() {
+  static const std::vector<Statistic> set = [] {
+    const double ps[] = {5, 10, 15, 20, 25, 50, 75, 80, 85, 90, 95};
+    return make_set(ps);
+  }();
+  return set;
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  const double sum = std::accumulate(sample.begin(), sample.end(), 0.0);
+  return sum / static_cast<double>(sample.size());
+}
+
+double std_dev(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean(sample);
+  double acc = 0.0;
+  for (double v : sample) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(sample.size()));
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> sample, double p) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double compute(Statistic stat, std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  switch (stat.kind) {
+    case Statistic::Kind::minimum:
+      return *std::min_element(sample.begin(), sample.end());
+    case Statistic::Kind::maximum:
+      return *std::max_element(sample.begin(), sample.end());
+    case Statistic::Kind::mean:
+      return mean(sample);
+    case Statistic::Kind::std_dev:
+      return std_dev(sample);
+    case Statistic::Kind::percentile:
+      return percentile(sample, stat.percentile);
+  }
+  return 0.0;
+}
+
+std::vector<double> compute_all(std::span<const Statistic> stats,
+                                std::span<const double> sample) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(stats.size());
+  for (const Statistic& s : stats) {
+    if (sorted.empty()) {
+      out.push_back(0.0);
+      continue;
+    }
+    switch (s.kind) {
+      case Statistic::Kind::minimum:
+        out.push_back(sorted.front());
+        break;
+      case Statistic::Kind::maximum:
+        out.push_back(sorted.back());
+        break;
+      case Statistic::Kind::mean:
+        out.push_back(mean(sorted));
+        break;
+      case Statistic::Kind::std_dev:
+        out.push_back(std_dev(sorted));
+        break;
+      case Statistic::Kind::percentile:
+        out.push_back(percentile_sorted(sorted, s.percentile));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vqoe::ts

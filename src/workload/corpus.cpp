@@ -1,0 +1,283 @@
+#include "vqoe/workload/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+
+#include "vqoe/net/channel.h"
+#include "vqoe/sim/video.h"
+#include "vqoe/trace/csv.h"
+
+namespace vqoe::workload {
+
+namespace {
+
+enum class Scenario : int {
+  static_good,
+  cell_fair,
+  cell_congested,
+  cell_poor,
+  commute,
+};
+
+Scenario sample_scenario(const ScenarioMix& mix, std::mt19937_64& rng) {
+  const std::array<double, 5> w{mix.static_good, mix.cell_fair,
+                                mix.cell_congested, mix.cell_poor, mix.commute};
+  std::discrete_distribution<int> pick(w.begin(), w.end());
+  return static_cast<Scenario>(pick(rng));
+}
+
+std::unique_ptr<net::ChannelModel> make_scenario_channel(Scenario s,
+                                                         std::uint64_t seed) {
+  switch (s) {
+    case Scenario::static_good:
+      return net::make_channel(net::profile_static_good(), seed);
+    case Scenario::cell_fair:
+      return net::make_channel(net::profile_cell_fair(), seed);
+    case Scenario::cell_congested:
+      return net::make_channel(net::profile_cell_congested(), seed);
+    case Scenario::cell_poor:
+      return net::make_channel(net::profile_cell_poor(), seed);
+    case Scenario::commute:
+      return net::make_commute_channel(seed);
+  }
+  return net::make_channel(net::profile_cell_fair(), seed);
+}
+
+// Long-run mean bandwidth the user's player "knows" about its network —
+// the hint behind the progressive quality pick.
+double scenario_bandwidth_hint(Scenario s) {
+  switch (s) {
+    case Scenario::static_good:
+      return net::profile_static_good().mean_bandwidth_bps;
+    case Scenario::cell_fair:
+      return net::profile_cell_fair().mean_bandwidth_bps;
+    case Scenario::cell_congested:
+      return net::profile_cell_congested().mean_bandwidth_bps;
+    case Scenario::cell_poor:
+      return net::profile_cell_poor().mean_bandwidth_bps;
+    case Scenario::commute:
+      return net::profile_cell_fair().mean_bandwidth_bps * 0.6;
+  }
+  return 2e6;
+}
+
+sim::Resolution sample_cap(const ResolutionCapMix& caps, std::mt19937_64& rng) {
+  std::discrete_distribution<int> pick(std::begin(caps.weights),
+                                       std::end(caps.weights));
+  return static_cast<sim::Resolution>(pick(rng));
+}
+
+// Adjusts a sampled catalog item to the service's delivery parameters.
+sim::VideoDescription apply_service(sim::VideoDescription video,
+                                    const ServiceTraits& service) {
+  video.segment_duration_s = service.segment_duration_s;
+  video.audio_bitrate_bps = service.audio_bitrate_bps;
+  for (sim::Representation& rep : video.ladder) {
+    rep.bitrate_bps *= service.bitrate_scale;
+  }
+  return video;
+}
+
+sim::PlayerConfig make_player_config(const sim::VideoDescription& video,
+                                     const ServiceTraits& service,
+                                     sim::Resolution cap, double bandwidth_hint,
+                                     std::mt19937_64& rng) {
+  sim::PlayerConfig cfg;
+  cfg.separate_audio = service.separate_audio;
+  cfg.progressive_burst_media_s = service.progressive_burst_media_s;
+  std::uniform_real_distribution<double> safety(0.72, 0.88);
+  std::uniform_real_distribution<double> startup(3.0, 5.0);
+  cfg.abr.safety_factor = safety(rng);
+  cfg.abr.max_resolution = cap;
+  // Warm starts: the player remembers recent throughput and begins at the
+  // rung it expects to sustain; cold starts probe from the bottom. Warm
+  // starts on stable channels are the paper's large no-switch population.
+  std::bernoulli_distribution cold_start(0.25);
+  if (cold_start(rng)) {
+    std::bernoulli_distribution lowest(0.4);
+    cfg.abr.initial = lowest(rng) ? sim::Resolution::p144 : sim::Resolution::p240;
+  } else {
+    std::uniform_real_distribution<double> memory(0.5, 1.0);
+    const double budget = bandwidth_hint * memory(rng) * cfg.abr.safety_factor;
+    cfg.abr.initial =
+        std::min(video.best_under(budget).resolution, cfg.abr.max_resolution);
+  }
+  cfg.startup_buffer_s = startup(rng);
+  cfg.resume_buffer_s = cfg.startup_buffer_s * 0.6;
+  return cfg;
+}
+
+sim::Resolution pick_progressive_rep(const sim::VideoDescription& video,
+                                     sim::Resolution cap, double bandwidth_hint,
+                                     std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> optimism(0.45, 1.15);
+  const double budget =
+      std::min(sim::nominal_bitrate_bps(cap), bandwidth_hint * optimism(rng));
+  sim::Resolution rep = video.best_under(budget).resolution;
+  // Users occasionally force a higher quality than the network sustains —
+  // the main source of severe stalling in progressive sessions.
+  std::bernoulli_distribution override_up(0.18);
+  if (override_up(rng) && rep < cap) {
+    rep = static_cast<sim::Resolution>(static_cast<int>(rep) + 1);
+  }
+  return std::min(rep, cap);
+}
+
+}  // namespace
+
+Corpus generate_corpus(const CorpusOptions& options) {
+  std::mt19937_64 rng{options.seed};
+  sim::Catalog catalog{options.catalog_size, options.seed ^ 0xabcdef12345ULL};
+
+  Corpus corpus;
+  corpus.truths.reserve(options.sessions);
+  if (options.keep_session_results) corpus.sessions.reserve(options.sessions);
+
+  // Per-subscriber running clocks so a subscriber's sessions are sequential
+  // with realistic idle gaps (the structure session reconstruction needs).
+  std::vector<double> clock(options.subscribers);
+  std::uniform_real_distribution<double> initial_offset(0.0, 120.0);
+  for (double& c : clock) c = initial_offset(rng);
+
+  std::uniform_int_distribution<std::size_t> pick_subscriber(
+      0, options.subscribers - 1);
+  // A third of follow-up videos are binge clicks seconds after the previous
+  // one ends — those boundaries are only recoverable from the watch-page
+  // markers, not from idle gaps (the Section 5.2 ablation depends on this).
+  std::bernoulli_distribution binge(0.35);
+  std::uniform_real_distribution<double> binge_gap(3.0, 20.0);
+  std::uniform_real_distribution<double> idle_gap(45.0, 600.0);
+  std::bernoulli_distribution adaptive(options.adaptive_fraction);
+
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    const std::size_t sub = pick_subscriber(rng);
+    const Scenario scenario = sample_scenario(options.mix, rng);
+    const std::uint64_t session_seed = rng();
+    auto channel = make_scenario_channel(scenario, session_seed);
+    const sim::VideoDescription video =
+        apply_service(catalog.sample(rng), options.service);
+    const sim::Resolution cap = sample_cap(options.caps, rng);
+    const double hint = scenario_bandwidth_hint(scenario);
+    const sim::PlayerConfig player_cfg =
+        make_player_config(video, options.service, cap, hint, rng);
+
+    sim::SessionResult result;
+    if (adaptive(rng)) {
+      const sim::HasPlayer player{player_cfg};
+      result = player.play(video, *channel, session_seed ^ 0x5555aaaaULL);
+    } else {
+      const sim::ProgressivePlayer player{player_cfg};
+      const sim::Resolution rep = pick_progressive_rep(video, cap, hint, rng);
+      result = player.play(video, rep, *channel, session_seed ^ 0x5555aaaaULL);
+    }
+
+    // Client-side stall injection: visible to the playback reports (and to
+    // the instrumented handset of Section 5.1) but absent from the traffic.
+    std::bernoulli_distribution device_stall(options.device_stall_rate);
+    if (device_stall(rng) && result.total_duration_s > 12.0) {
+      std::lognormal_distribution<double> dur(std::log(2.0), 0.6);
+      std::uniform_real_distribution<double> where(5.0,
+                                                   result.total_duration_s - 5.0);
+      sim::StallEvent extra;
+      extra.duration_s = std::clamp(dur(rng), 0.5, 12.0);
+      extra.start_s = where(rng);
+      result.stalls.push_back(extra);
+      std::sort(result.stalls.begin(), result.stalls.end(),
+                [](const sim::StallEvent& a, const sim::StallEvent& b) {
+                  return a.start_s < b.start_s;
+                });
+      result.total_duration_s += extra.duration_s;
+    }
+
+    trace::WeblogOptions wopt;
+    wopt.subscriber_id = "sub-" + std::to_string(sub);
+    wopt.start_time_s = clock[sub];
+    wopt.cache_hit_rate = options.cache_hit_rate;
+    wopt.cdn_host = options.service.cdn_host;
+    wopt.page_host = options.service.page_host;
+    wopt.thumbnail_host = options.service.thumbnail_host;
+    wopt.report_host = options.service.report_host;
+    auto rendered = trace::to_weblogs(result, wopt, rng);
+
+    clock[sub] = rendered.truth.start_time_s + result.total_duration_s +
+                 (binge(rng) ? binge_gap(rng) : idle_gap(rng));
+
+    corpus.weblogs.insert(corpus.weblogs.end(),
+                          std::make_move_iterator(rendered.records.begin()),
+                          std::make_move_iterator(rendered.records.end()));
+    corpus.truths.push_back(std::move(rendered.truth));
+    if (options.keep_session_results) corpus.sessions.push_back(std::move(result));
+  }
+
+  std::stable_sort(corpus.weblogs.begin(), corpus.weblogs.end(),
+                   [](const trace::WeblogRecord& a, const trace::WeblogRecord& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return corpus;
+}
+
+CorpusOptions cleartext_corpus_options(std::size_t sessions, std::uint64_t seed) {
+  CorpusOptions o;
+  o.sessions = sessions;
+  o.seed = seed;
+  o.adaptive_fraction = 0.03;
+  o.subscribers = std::max<std::size_t>(8, sessions / 20);
+  return o;
+}
+
+CorpusOptions has_corpus_options(std::size_t sessions, std::uint64_t seed) {
+  CorpusOptions o = cleartext_corpus_options(sessions, seed);
+  o.adaptive_fraction = 1.0;
+  return o;
+}
+
+CorpusOptions encrypted_corpus_options(std::size_t sessions, std::uint64_t seed) {
+  CorpusOptions o;
+  o.sessions = sessions;
+  o.seed = seed;
+  o.adaptive_fraction = 1.0;  // stock app: DASH everywhere
+  o.subscribers = 1;          // one instrumented handset
+  // Commute-heavy mix: the user was told to launch videos while moving.
+  // Most sessions are launched while static at home or the office
+  // (Section 5.4's explanation for the improved healthy-class detection);
+  // the commute share still dominates the stalled sessions.
+  o.mix = {.static_good = 0.52,
+           .cell_fair = 0.13,
+           .cell_congested = 0.13,
+           .cell_poor = 0.08,
+           .commute = 0.14};
+  // Newer device, fewer 144p-capped plays, still few HD (3G plan):
+  // shifts the LD class toward 240p, Section 5.5's explanation for the
+  // LD->SD confusion increase.
+  o.caps = {.weights = {0.02, 0.34, 0.28, 0.24, 0.09, 0.03}};
+  return o;
+}
+
+sim::SessionResult demo_stall_session(std::uint64_t seed) {
+  auto profile = net::profile_cell_poor();
+  profile.mean_bandwidth_bps = 0.42e6;
+  auto channel = net::make_channel(profile, seed);
+  sim::Catalog catalog{16, seed};
+  std::mt19937_64 rng{seed};
+  const auto& video = catalog.videos().front();
+  sim::PlayerConfig cfg;
+  const sim::ProgressivePlayer player{cfg};
+  // 360p over a ~0.4 Mbit/s link: the buffer cannot keep up.
+  return player.play(video, sim::Resolution::p360, *channel, rng());
+}
+
+sim::SessionResult demo_switch_session(std::uint64_t seed) {
+  auto channel = net::make_channel(net::profile_cell_fair(), seed);
+  sim::Catalog catalog{16, seed};
+  std::mt19937_64 rng{seed};
+  const auto& video = catalog.videos().front();
+  sim::PlayerConfig cfg;
+  cfg.abr.initial = sim::Resolution::p144;
+  cfg.abr.max_resolution = sim::Resolution::p480;
+  const sim::HasPlayer player{cfg};
+  return player.play(video, *channel, rng());
+}
+
+}  // namespace vqoe::workload

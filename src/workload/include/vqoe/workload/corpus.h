@@ -1,0 +1,103 @@
+// Corpus generation: the two datasets of the paper.
+//
+// Section 3 trains on ~390k cleartext sessions from an operator proxy
+// (97% traditional progressive streaming, 3% adaptive, a broad mix of
+// static and mobile network conditions). Section 5.2 evaluates on 722
+// encrypted sessions from one instrumented commuting handset (all adaptive,
+// deliberately skewed toward degraded radio conditions). generate_corpus()
+// produces either dataset at configurable scale from the simulator,
+// emitting both the proxy weblogs (the operator view) and the per-session
+// ground truth (the URI/instrumentation view).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vqoe/net/profile.h"
+#include "vqoe/sim/player.h"
+#include "vqoe/trace/weblog.h"
+#include "vqoe/workload/service.h"
+
+namespace vqoe::workload {
+
+/// Sampling weights of the channel regimes a session may run under.
+/// Values are relative weights (normalized internally).
+struct ScenarioMix {
+  double static_good = 0.52;
+  double cell_fair = 0.27;
+  double cell_congested = 0.13;
+  double cell_poor = 0.04;
+  double commute = 0.04;
+};
+
+/// Relative weights of the per-user resolution cap (screen size, data-saver
+/// settings). Index order: 144p, 240p, 360p, 480p, 720p, 1080p.
+struct ResolutionCapMix {
+  double weights[6] = {0.04, 0.315, 0.29, 0.29, 0.04, 0.015};
+};
+
+struct CorpusOptions {
+  std::size_t sessions = 4000;
+  std::uint64_t seed = 42;
+  /// Fraction of sessions using HTTP Adaptive Streaming (the cleartext
+  /// corpus has ~3% HAS; the encrypted stock-app corpus is 100%).
+  double adaptive_fraction = 0.03;
+  std::size_t subscribers = 200;
+  std::size_t catalog_size = 600;
+  ScenarioMix mix;
+  ResolutionCapMix caps;
+  double cache_hit_rate = 0.10;  ///< page objects only
+  /// Probability that a session suffers one client-side stall (decoder or
+  /// device hiccup) that leaves no trace in the traffic. Playback reports
+  /// and instrumented clients see these; the network does not — they bound
+  /// what any traffic-only detector can achieve on the mild-stall class.
+  double device_stall_rate = 0.012;
+  /// Which streaming service the sessions belong to (segment length,
+  /// ladder scale, audio handling, host names). Defaults to YouTube as
+  /// measured by the paper; see service.h for the Section-7 alternatives.
+  ServiceTraits service = youtube_service();
+  /// Keep the raw simulator outputs (needed by the figure benches; costs
+  /// memory at large scale).
+  bool keep_session_results = true;
+};
+
+/// A generated dataset: operator weblogs plus ground truth, parallel to the
+/// raw simulation results when kept.
+struct Corpus {
+  std::vector<trace::WeblogRecord> weblogs;        ///< globally time-sorted
+  std::vector<trace::SessionGroundTruth> truths;   ///< one per session
+  std::vector<sim::SessionResult> sessions;        ///< empty unless kept
+};
+
+/// Simulates `options.sessions` video sessions and renders them into proxy
+/// logs. Deterministic in `options.seed`.
+[[nodiscard]] Corpus generate_corpus(const CorpusOptions& options);
+
+/// Defaults matching the Section 3 cleartext operator corpus.
+[[nodiscard]] CorpusOptions cleartext_corpus_options(std::size_t sessions = 4000,
+                                                     std::uint64_t seed = 42);
+
+/// The adaptive (HAS) subset of the cleartext corpus, generated at scale:
+/// same scenario and cap mixes as cleartext_corpus_options but 100%
+/// adaptive. This is the population Sections 4.2/4.3 train the
+/// representation and switch models on (the paper keeps only the ~3%
+/// adaptive sessions of its 390k corpus, i.e. ~12k HAS sessions).
+[[nodiscard]] CorpusOptions has_corpus_options(std::size_t sessions = 4000,
+                                               std::uint64_t seed = 43);
+
+/// Defaults matching the Section 5.2 encrypted instrumented-handset corpus:
+/// one subscriber, all-adaptive, commute-heavy scenario mix, fewer 144p-capped
+/// users (newer device), 722 sessions. Weblogs are NOT yet stripped — apply
+/// trace::encrypt_view to obtain the operator's encrypted view.
+[[nodiscard]] CorpusOptions encrypted_corpus_options(std::size_t sessions = 722,
+                                                     std::uint64_t seed = 4242);
+
+/// One seeded session over a poor channel at a fixed representation:
+/// exhibits the post-stall small-chunk recovery signature of Fig. 1.
+[[nodiscard]] sim::SessionResult demo_stall_session(std::uint64_t seed = 11);
+
+/// One seeded adaptive session over an improving channel: starts low,
+/// switches up (the 144p -> 480p switch of Fig. 3).
+[[nodiscard]] sim::SessionResult demo_switch_session(std::uint64_t seed = 21);
+
+}  // namespace vqoe::workload

@@ -1,0 +1,62 @@
+// Streaming service profiles.
+//
+// Section 7 of the paper: "our analysis of other popular video streaming
+// services such as Vevo, Vimeo, Dailymotion ... has revealed that they have
+// adopted the same technologies that YouTube is using", and generalizing
+// the methodology to them is named as future work. ServiceTraits
+// parameterizes the delivery characteristics that differ across such
+// services — segment length, ladder bitrates, audio handling, pacing and
+// the host names an operator would see — so the generalization experiment
+// (bench/sec7_generalization) can train on one service and evaluate on
+// another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vqoe/sim/player.h"
+
+namespace vqoe::workload {
+
+/// Delivery profile of one streaming service.
+struct ServiceTraits {
+  std::string name = "youtube";
+
+  /// HAS media segment length (seconds of media per chunk).
+  double segment_duration_s = 5.0;
+  /// Multiplier applied to the standard bitrate ladder (services encode the
+  /// same resolutions at different rates).
+  double bitrate_scale = 1.0;
+  double audio_bitrate_bps = 128e3;
+  /// DASH separated audio streams instead of muxed segments.
+  bool separate_audio = false;
+  /// Progressive range-request burst, media seconds.
+  double progressive_burst_media_s = 6.0;
+
+  /// Host names the operator observes (SNI/DNS survive encryption).
+  std::string cdn_host = "r3---sn-h5q7dne7.googlevideo.com";
+  std::string page_host = "m.youtube.com";
+  std::string thumbnail_host = "i.ytimg.com";
+  std::string report_host = "www.youtube.com";
+
+  /// Host classification inputs for session reconstruction.
+  [[nodiscard]] std::vector<std::string> cdn_suffixes() const;
+  [[nodiscard]] std::vector<std::string> page_marker_hosts() const;
+  [[nodiscard]] std::vector<std::string> service_suffixes() const;
+};
+
+/// The paper's subject: YouTube as of the 2016 measurement window.
+[[nodiscard]] ServiceTraits youtube_service();
+
+/// A Vimeo-like profile: longer (6 s) segments, higher encode bitrates,
+/// separated audio.
+[[nodiscard]] ServiceTraits vimeo_like_service();
+
+/// A Dailymotion-like profile: shorter (2 s) segments, leaner ladder.
+[[nodiscard]] ServiceTraits dailymotion_like_service();
+
+/// A Netflix-like profile: 4 s segments, aggressive bitrates, separate
+/// audio, long progressive bursts (large device buffers).
+[[nodiscard]] ServiceTraits netflix_like_service();
+
+}  // namespace vqoe::workload

@@ -1,0 +1,74 @@
+#include "vqoe/workload/service.h"
+
+namespace vqoe::workload {
+
+namespace {
+
+// "vid.vimeocdn.example" style hosts: the suffix after the first label is
+// what reconstruction matches on.
+std::string suffix_of(const std::string& host) {
+  const auto dot = host.find('.');
+  return dot == std::string::npos ? host : host.substr(dot + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> ServiceTraits::cdn_suffixes() const {
+  return {suffix_of(cdn_host)};
+}
+
+std::vector<std::string> ServiceTraits::page_marker_hosts() const {
+  return {page_host};
+}
+
+std::vector<std::string> ServiceTraits::service_suffixes() const {
+  return {suffix_of(cdn_host), suffix_of(page_host), suffix_of(thumbnail_host),
+          suffix_of(report_host)};
+}
+
+ServiceTraits youtube_service() { return {}; }
+
+ServiceTraits vimeo_like_service() {
+  ServiceTraits s;
+  s.name = "vimeo-like";
+  s.segment_duration_s = 6.0;
+  s.bitrate_scale = 1.25;
+  s.separate_audio = true;
+  s.audio_bitrate_bps = 160e3;
+  s.progressive_burst_media_s = 8.0;
+  s.cdn_host = "vod-adaptive.vimeocdn-video.com";
+  s.page_host = "m.vimeo-like.com";
+  s.thumbnail_host = "i.vimeocdn-img.com";
+  s.report_host = "www.vimeo-like.com";
+  return s;
+}
+
+ServiceTraits dailymotion_like_service() {
+  ServiceTraits s;
+  s.name = "dailymotion-like";
+  s.segment_duration_s = 2.0;
+  s.bitrate_scale = 0.85;
+  s.progressive_burst_media_s = 4.0;
+  s.cdn_host = "proxy-05.dm-cdn-video.com";
+  s.page_host = "m.dailymotion-like.com";
+  s.thumbnail_host = "s1.dm-cdn-img.com";
+  s.report_host = "www.dailymotion-like.com";
+  return s;
+}
+
+ServiceTraits netflix_like_service() {
+  ServiceTraits s;
+  s.name = "netflix-like";
+  s.segment_duration_s = 4.0;
+  s.bitrate_scale = 1.4;
+  s.separate_audio = true;
+  s.audio_bitrate_bps = 192e3;
+  s.progressive_burst_media_s = 10.0;
+  s.cdn_host = "ipv4-c001.oca-video.com";
+  s.page_host = "m.netflix-like.com";
+  s.thumbnail_host = "art.oca-img.com";
+  s.report_host = "www.netflix-like.com";
+  return s;
+}
+
+}  // namespace vqoe::workload

@@ -1,0 +1,94 @@
+// Feature-construction invariance properties over simulated sessions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "vqoe/core/features.h"
+#include "vqoe/net/channel.h"
+#include "vqoe/sim/player.h"
+
+namespace vqoe::core {
+namespace {
+
+std::vector<ChunkObs> simulated_chunks(std::uint64_t seed) {
+  sim::VideoDescription v;
+  v.video_id = "prop";
+  v.duration_s = 120.0;
+  for (int r = 0; r < sim::kNumResolutions; ++r) {
+    const auto res = static_cast<sim::Resolution>(r);
+    v.ladder.push_back({res, sim::nominal_bitrate_bps(res)});
+  }
+  auto channel = net::make_channel(net::profile_cell_fair(), seed);
+  const sim::HasPlayer player{sim::PlayerConfig{}};
+  const auto session = player.play(v, *channel, seed);
+  std::vector<ChunkObs> chunks;
+  for (const auto& c : session.chunks) {
+    chunks.push_back({c.request_time_s, c.arrival_time_s,
+                      static_cast<double>(c.size_bytes), c.transport});
+  }
+  return chunks;
+}
+
+class FeatureInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeatureInvariance, TimeShiftInvariant) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  auto chunks = simulated_chunks(seed);
+  auto shifted = chunks;
+  for (ChunkObs& c : shifted) {
+    c.request_time_s += 1e5;
+    c.arrival_time_s += 1e5;
+  }
+  const auto a = stall_features(chunks);
+  const auto b = stall_features(shifted);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6) << stall_feature_names()[i];
+  }
+  const auto ra = representation_features(chunks);
+  const auto rb = representation_features(shifted);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_NEAR(ra[i], rb[i], 1e-6) << representation_feature_names()[i];
+  }
+}
+
+TEST_P(FeatureInvariance, InputOrderInvariant) {
+  // Weblogs may arrive out of order; chunks_from_weblogs sorts, and
+  // features computed from any permutation must be identical.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  auto chunks = simulated_chunks(seed);
+
+  std::vector<trace::WeblogRecord> records;
+  for (const auto& c : chunks) {
+    trace::WeblogRecord r;
+    r.kind = trace::RecordKind::media;
+    r.timestamp_s = c.request_time_s;
+    r.transaction_time_s = c.arrival_time_s - c.request_time_s;
+    r.object_size_bytes = static_cast<std::uint64_t>(c.size_bytes);
+    r.transport = c.transport;
+    records.push_back(r);
+  }
+  std::mt19937_64 rng{seed * 3 + 1};
+  auto shuffled = records;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+
+  const auto a = stall_features(chunks_from_weblogs(records));
+  const auto b = stall_features(chunks_from_weblogs(shuffled));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9) << stall_feature_names()[i];
+  }
+}
+
+TEST_P(FeatureInvariance, AllFeaturesFinite) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto chunks = simulated_chunks(seed);
+  for (double v : stall_features(chunks)) EXPECT_TRUE(std::isfinite(v));
+  for (double v : representation_features(chunks)) EXPECT_TRUE(std::isfinite(v));
+  const auto signal = switch_signal(chunks);
+  for (double v : signal) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureInvariance, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace vqoe::core

@@ -1,0 +1,182 @@
+#include "vqoe/core/features.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vqoe::core {
+namespace {
+
+ChunkObs make_chunk(double t, double size_bytes, double dur = 1.0) {
+  ChunkObs c;
+  c.request_time_s = t;
+  c.arrival_time_s = t + dur;
+  c.size_bytes = size_bytes;
+  c.transport.rtt_min_ms = 40;
+  c.transport.rtt_avg_ms = 55;
+  c.transport.rtt_max_ms = 90;
+  c.transport.bdp_bytes = 30'000;
+  c.transport.bif_avg_bytes = 20'000;
+  c.transport.bif_max_bytes = 45'000;
+  c.transport.loss_pct = 0.5;
+  c.transport.retrans_pct = 0.7;
+  return c;
+}
+
+std::vector<ChunkObs> steady_session(std::size_t n = 30, double spacing = 5.0) {
+  std::vector<ChunkObs> chunks;
+  for (std::size_t i = 0; i < n; ++i) {
+    chunks.push_back(make_chunk(static_cast<double>(i) * spacing, 400'000));
+  }
+  return chunks;
+}
+
+TEST(FeatureNames, PaperCardinalities) {
+  // 10 metrics x 7 stats and 14 metrics x 15 stats (Sections 4.1, 4.2).
+  EXPECT_EQ(stall_feature_names().size(), 70u);
+  EXPECT_EQ(representation_feature_names().size(), 210u);
+}
+
+TEST(FeatureNames, Unique) {
+  for (const auto* names : {&stall_feature_names(), &representation_feature_names()}) {
+    std::set<std::string> unique(names->begin(), names->end());
+    EXPECT_EQ(unique.size(), names->size());
+  }
+}
+
+TEST(FeatureNames, ContainPaperSelectedFeatures) {
+  // Table 2's stall features and a sample of Table 5's representation
+  // features must exist under our naming scheme.
+  const auto& stall = stall_feature_names();
+  for (const char* name : {"chunk_size:min", "chunk_size:std", "bdp:mean",
+                           "retrans:max"}) {
+    EXPECT_NE(std::find(stall.begin(), stall.end(), name), stall.end()) << name;
+  }
+  const auto& repr = representation_feature_names();
+  for (const char* name :
+       {"chunk_size:p75", "chunk_avg_size:mean", "bif_avg:max",
+        "cusum_throughput:min", "chunk_dsize:max", "chunk_dt:p25", "bdp:p90",
+        "bif_max:min", "rtt_min:min"}) {
+    EXPECT_NE(std::find(repr.begin(), repr.end(), name), repr.end()) << name;
+  }
+}
+
+TEST(StallFeatures, SizeMatchesNames) {
+  const auto chunks = steady_session();
+  EXPECT_EQ(stall_features(chunks).size(), stall_feature_names().size());
+}
+
+TEST(RepresentationFeatures, SizeMatchesNames) {
+  const auto chunks = steady_session();
+  EXPECT_EQ(representation_features(chunks).size(),
+            representation_feature_names().size());
+}
+
+TEST(Features, EmptySessionYieldsZeros) {
+  for (double v : stall_features({})) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : representation_features({})) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Features, SingleChunkDefined) {
+  const std::vector<ChunkObs> one{make_chunk(0.0, 100'000)};
+  const auto f = stall_features(one);
+  EXPECT_EQ(f.size(), 70u);
+  // chunk_size:min should be 100 KB.
+  const auto& names = stall_feature_names();
+  const auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "chunk_size:min") - names.begin());
+  EXPECT_DOUBLE_EQ(f[idx], 100.0);
+}
+
+TEST(Features, ChunkSizeInKilobytes) {
+  const auto chunks = steady_session();
+  const auto f = stall_features(chunks);
+  const auto& names = stall_feature_names();
+  const auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "chunk_size:mean") - names.begin());
+  EXPECT_NEAR(f[idx], 400.0, 1e-9);
+}
+
+TEST(Features, SessionRelativeTime) {
+  // Shifting all timestamps must not change any feature.
+  auto a = steady_session();
+  auto b = a;
+  for (ChunkObs& c : b) {
+    c.request_time_s += 5000.0;
+    c.arrival_time_s += 5000.0;
+  }
+  const auto fa = stall_features(a);
+  const auto fb = stall_features(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_NEAR(fa[i], fb[i], 1e-6) << stall_feature_names()[i];
+  }
+}
+
+TEST(ChunksFromWeblogs, FiltersToMediaAndSorts) {
+  std::vector<trace::WeblogRecord> records(3);
+  records[0].kind = trace::RecordKind::page_object;
+  records[0].timestamp_s = 0.0;
+  records[1].kind = trace::RecordKind::media;
+  records[1].timestamp_s = 10.0;
+  records[1].transaction_time_s = 1.0;
+  records[1].object_size_bytes = 100;
+  records[2].kind = trace::RecordKind::media;
+  records[2].timestamp_s = 5.0;
+  records[2].transaction_time_s = 1.0;
+  records[2].object_size_bytes = 200;
+
+  const auto chunks = chunks_from_weblogs(records);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_DOUBLE_EQ(chunks[0].request_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(chunks[0].size_bytes, 200.0);
+  EXPECT_DOUBLE_EQ(chunks[1].request_time_s, 10.0);
+}
+
+TEST(ChunkObs, GoodputComputation) {
+  const ChunkObs c = make_chunk(0.0, 500'000, 2.0);
+  EXPECT_NEAR(c.goodput_kbps(), 500'000 * 8.0 / 2.0 / 1000.0, 1e-9);
+  ChunkObs degenerate;
+  degenerate.size_bytes = 100;
+  degenerate.request_time_s = degenerate.arrival_time_s = 1.0;
+  EXPECT_DOUBLE_EQ(degenerate.goodput_kbps(), 0.0);
+}
+
+TEST(SwitchSignal, DropsStartupSeconds) {
+  auto chunks = steady_session(40, 1.0);  // arrivals at 1,2,...,40 s
+  const auto full = switch_signal(chunks, 0.0);
+  const auto filtered = switch_signal(chunks, 10.0);
+  EXPECT_GT(full.size(), filtered.size());
+  // 40 chunks arriving at 1..40 s; arrivals >= 10 s leaves 31 -> 30 deltas.
+  EXPECT_EQ(filtered.size(), 30u);
+}
+
+TEST(SwitchSignal, TooFewChunksIsEmpty) {
+  EXPECT_TRUE(switch_signal({}).empty());
+  const auto two = steady_session(2);
+  EXPECT_TRUE(switch_signal(two, 0.0).empty());
+}
+
+TEST(SwitchSignal, SteadySessionHasSmallSignal) {
+  const auto chunks = steady_session(40);
+  const auto signal = switch_signal(chunks);
+  for (double v : signal) EXPECT_NEAR(v, 0.0, 1e-9);  // identical sizes
+}
+
+TEST(SwitchSignal, LevelShiftCreatesSpike) {
+  std::vector<ChunkObs> chunks;
+  for (int i = 0; i < 20; ++i) {
+    chunks.push_back(make_chunk(i * 5.0, 200'000));
+  }
+  // Quality switch: a gap then bigger chunks.
+  for (int i = 0; i < 20; ++i) {
+    chunks.push_back(make_chunk(120.0 + i * 5.0, 800'000));
+  }
+  const auto signal = switch_signal(chunks);
+  double max_abs = 0.0;
+  for (double v : signal) max_abs = std::max(max_abs, std::abs(v));
+  // Spike ~ 600 KB x 25 s at the boundary.
+  EXPECT_GT(max_abs, 1000.0);
+}
+
+}  // namespace
+}  // namespace vqoe::core

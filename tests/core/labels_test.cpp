@@ -1,0 +1,78 @@
+#include "vqoe/core/labels.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::core {
+namespace {
+
+TEST(StallLabel, RuleBoundaries) {
+  EXPECT_EQ(stall_label_from_rr(0.0), StallLabel::no_stalls);
+  EXPECT_EQ(stall_label_from_rr(-0.1), StallLabel::no_stalls);
+  EXPECT_EQ(stall_label_from_rr(0.0001), StallLabel::mild_stalls);
+  EXPECT_EQ(stall_label_from_rr(0.1), StallLabel::mild_stalls);  // boundary inclusive
+  EXPECT_EQ(stall_label_from_rr(0.1000001), StallLabel::severe_stalls);
+  EXPECT_EQ(stall_label_from_rr(1.0), StallLabel::severe_stalls);
+}
+
+TEST(ReprLabel, RuleBoundaries) {
+  EXPECT_EQ(repr_label_from_height(144.0), ReprLabel::ld);
+  EXPECT_EQ(repr_label_from_height(359.9), ReprLabel::ld);
+  EXPECT_EQ(repr_label_from_height(360.0), ReprLabel::sd);  // SD includes 360
+  EXPECT_EQ(repr_label_from_height(480.0), ReprLabel::sd);  // and 480
+  EXPECT_EQ(repr_label_from_height(480.1), ReprLabel::hd);
+  EXPECT_EQ(repr_label_from_height(1080.0), ReprLabel::hd);
+}
+
+TEST(VariationLabel, RuleBoundaries) {
+  const VariationRule rule{.amplitude_weight = 2.0,
+                           .mild_threshold = 1.5,
+                           .high_threshold = 6.0};
+  EXPECT_EQ(variation_label(0, 0.0, rule), VariationLabel::none);
+  // One switch with tiny amplitude: Var ~ 1 + small -> none.
+  EXPECT_EQ(variation_label(1, 0.05, rule), VariationLabel::none);
+  // Two switches: Var > 1.5 -> mild.
+  EXPECT_EQ(variation_label(2, 0.1, rule), VariationLabel::mild);
+  // Frequent large-amplitude switching -> high.
+  EXPECT_EQ(variation_label(5, 1.0, rule), VariationLabel::high);
+}
+
+TEST(VariationLabel, AmplitudeAloneCanEscalate) {
+  const VariationRule rule;
+  // One giant switch (e.g. 144p -> 1080p, amplitude 5 rungs over few pairs).
+  EXPECT_NE(variation_label(1, 3.0, rule), VariationLabel::none);
+}
+
+TEST(ClassNames, MatchPaperTables) {
+  ASSERT_EQ(stall_class_names().size(), 3u);
+  EXPECT_EQ(stall_class_names()[0], "no stalls");
+  EXPECT_EQ(stall_class_names()[1], "mild stalls");
+  EXPECT_EQ(stall_class_names()[2], "severe stalls");
+  ASSERT_EQ(repr_class_names().size(), 3u);
+  EXPECT_EQ(repr_class_names()[0], "LD");
+  EXPECT_EQ(repr_class_names()[1], "SD");
+  EXPECT_EQ(repr_class_names()[2], "HD");
+  ASSERT_EQ(variation_class_names().size(), 3u);
+}
+
+TEST(Labels, FromGroundTruth) {
+  trace::SessionGroundTruth truth;
+  truth.rebuffering_ratio = 0.05;
+  truth.average_height = 700.0;
+  truth.switch_count = 3;
+  truth.switch_amplitude = 0.5;
+  EXPECT_EQ(stall_label(truth), StallLabel::mild_stalls);
+  EXPECT_EQ(repr_label(truth), ReprLabel::hd);
+  EXPECT_NE(variation_label(truth), VariationLabel::none);
+}
+
+TEST(Labels, EnumValuesAlignWithClassNameOrder) {
+  EXPECT_EQ(static_cast<int>(StallLabel::no_stalls), 0);
+  EXPECT_EQ(static_cast<int>(StallLabel::mild_stalls), 1);
+  EXPECT_EQ(static_cast<int>(StallLabel::severe_stalls), 2);
+  EXPECT_EQ(static_cast<int>(ReprLabel::ld), 0);
+  EXPECT_EQ(static_cast<int>(ReprLabel::sd), 1);
+  EXPECT_EQ(static_cast<int>(ReprLabel::hd), 2);
+}
+
+}  // namespace
+}  // namespace vqoe::core

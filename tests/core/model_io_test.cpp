@@ -1,0 +1,128 @@
+#include "vqoe/core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+#include "vqoe/core/pipeline.h"
+
+namespace vqoe::core {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto options = workload::has_corpus_options(400, 91);
+    options.keep_session_results = false;
+    sessions_ = new std::vector<SessionRecord>{
+        sessions_from_corpus(workload::generate_corpus(options))};
+    pipeline_ = new QoePipeline{QoePipeline::train(*sessions_)};
+  }
+  static void TearDownTestSuite() {
+    delete sessions_;
+    delete pipeline_;
+    sessions_ = nullptr;
+    pipeline_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vqoe_model_io_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::vector<SessionRecord>* sessions_;
+  static QoePipeline* pipeline_;
+  std::filesystem::path dir_;
+};
+
+std::vector<SessionRecord>* ModelIoTest::sessions_ = nullptr;
+QoePipeline* ModelIoTest::pipeline_ = nullptr;
+
+TEST_F(ModelIoTest, StallDetectorRoundTrip) {
+  std::stringstream stream;
+  save(pipeline_->stall_detector(), stream);
+  const auto loaded = load_stall_detector(stream);
+  EXPECT_EQ(loaded.selected_features(),
+            pipeline_->stall_detector().selected_features());
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& s = (*sessions_)[i * 7 % sessions_->size()];
+    EXPECT_EQ(loaded.classify(s.chunks),
+              pipeline_->stall_detector().classify(s.chunks));
+  }
+}
+
+TEST_F(ModelIoTest, RepresentationDetectorRoundTrip) {
+  std::stringstream stream;
+  save(pipeline_->representation_detector(), stream);
+  const auto loaded = load_representation_detector(stream);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& s = (*sessions_)[i * 5 % sessions_->size()];
+    EXPECT_EQ(loaded.classify(s.chunks),
+              pipeline_->representation_detector().classify(s.chunks));
+  }
+}
+
+TEST_F(ModelIoTest, SwitchDetectorRoundTrip) {
+  SwitchDetector::Config config;
+  config.threshold = 312.5;
+  config.skip_initial_s = 7.25;
+  const SwitchDetector original{config};
+  std::stringstream stream;
+  save(original, stream);
+  const auto loaded = load_switch_detector(stream);
+  EXPECT_DOUBLE_EQ(loaded.config().threshold, 312.5);
+  EXPECT_DOUBLE_EQ(loaded.config().skip_initial_s, 7.25);
+}
+
+TEST_F(ModelIoTest, SavingUntrainedDetectorThrows) {
+  const StallDetector untrained;
+  std::stringstream stream;
+  EXPECT_THROW(save(untrained, stream), std::logic_error);
+}
+
+TEST_F(ModelIoTest, WrongHeaderTypeThrows) {
+  std::stringstream stream;
+  save(pipeline_->stall_detector(), stream);
+  EXPECT_THROW(load_representation_detector(stream), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, PipelineDirectoryRoundTrip) {
+  save_pipeline(*pipeline_, dir_);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "stall.model"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "representation.model"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "switch.model"));
+
+  const auto loaded = load_pipeline(dir_);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto& s = (*sessions_)[i * 11 % sessions_->size()];
+    const auto a = pipeline_->assess(s.chunks);
+    const auto b = loaded.assess(s.chunks);
+    EXPECT_EQ(a.stall, b.stall);
+    EXPECT_EQ(a.representation, b.representation);
+    EXPECT_EQ(a.quality_switches, b.quality_switches);
+    EXPECT_DOUBLE_EQ(a.switch_score, b.switch_score);
+  }
+}
+
+TEST_F(ModelIoTest, MissingStallModelThrows) {
+  std::filesystem::create_directories(dir_);
+  EXPECT_THROW(load_pipeline(dir_), std::runtime_error);
+}
+
+TEST_F(ModelIoTest, FromPartsValidatesLayout) {
+  // A representation forest cannot masquerade as a stall detector.
+  std::stringstream stream;
+  save(pipeline_->representation_detector(), stream);
+  std::string text = stream.str();
+  text.replace(text.find("vqoe-representation-detector"),
+               std::string{"vqoe-representation-detector"}.size(),
+               "vqoe-stall-detector");
+  std::stringstream renamed{text};
+  EXPECT_THROW(load_stall_detector(renamed), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqoe::core

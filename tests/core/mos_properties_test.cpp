@@ -1,0 +1,93 @@
+// MOS monotonicity sweeps: more of any impairment never raises the score.
+#include <gtest/gtest.h>
+
+#include "vqoe/core/mos.h"
+
+namespace vqoe::core {
+namespace {
+
+trace::SessionGroundTruth base_truth() {
+  trace::SessionGroundTruth t;
+  t.total_duration_s = 200.0;
+  t.startup_delay_s = 0.5;
+  t.average_height = 720.0;
+  return t;
+}
+
+class StallCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StallCountSweep, MoreStallsNeverHelp) {
+  auto fewer = base_truth();
+  fewer.stall_count = GetParam();
+  fewer.stall_duration_s = GetParam() * 6.0;
+  auto more = base_truth();
+  more.stall_count = GetParam() + 5;
+  more.stall_duration_s = (GetParam() + 5) * 6.0;
+  EXPECT_GE(mos_from_ground_truth(fewer), mos_from_ground_truth(more));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, StallCountSweep,
+                         ::testing::Values(0, 1, 3, 8, 20, 50));
+
+class InitialDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InitialDelaySweep, LongerDelayNeverHelps) {
+  auto shorter = base_truth();
+  shorter.startup_delay_s = GetParam();
+  auto longer = base_truth();
+  longer.startup_delay_s = GetParam() + 4.0;
+  EXPECT_GE(mos_from_ground_truth(shorter), mos_from_ground_truth(longer));
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, InitialDelaySweep,
+                         ::testing::Values(0.0, 0.9, 2.0, 4.9, 10.0));
+
+class HeightSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeightSweep, HigherResolutionNeverHurts) {
+  auto lower = base_truth();
+  lower.average_height = GetParam();
+  auto higher = base_truth();
+  higher.average_height = GetParam() + 250.0;
+  EXPECT_LE(mos_from_ground_truth(lower), mos_from_ground_truth(higher));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, HeightSweep,
+                         ::testing::Values(144.0, 240.0, 360.0, 480.0, 720.0));
+
+TEST(MosReportSweep, FullGridOrdering) {
+  // Across the full detected-class grid, every single-step degradation of
+  // one dimension must not raise the MOS.
+  const MosModel model;
+  for (int stall = 0; stall < 3; ++stall) {
+    for (int repr = 0; repr < 3; ++repr) {
+      for (int sw = 0; sw < 2; ++sw) {
+        QoeReport report;
+        report.stall = static_cast<StallLabel>(stall);
+        report.representation = static_cast<ReprLabel>(repr);
+        report.quality_switches = sw == 1;
+        const double mos = mos_from_report(report, 0.0, model);
+        EXPECT_GE(mos, model.floor);
+        EXPECT_LE(mos, model.ceil);
+        if (stall < 2) {
+          QoeReport worse = report;
+          worse.stall = static_cast<StallLabel>(stall + 1);
+          EXPECT_GE(mos, mos_from_report(worse, 0.0, model));
+        }
+        if (repr > 0) {
+          QoeReport worse = report;
+          worse.representation = static_cast<ReprLabel>(repr - 1);
+          EXPECT_GE(mos, mos_from_report(worse, 0.0, model));
+        }
+        if (!report.quality_switches) {
+          QoeReport worse = report;
+          worse.quality_switches = true;
+          EXPECT_GE(mos, mos_from_report(worse, 0.0, model));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqoe::core

@@ -1,0 +1,127 @@
+#include "vqoe/core/mos.h"
+
+#include <gtest/gtest.h>
+
+#include "vqoe/core/startup.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::core {
+namespace {
+
+trace::SessionGroundTruth clean_hd_session() {
+  trace::SessionGroundTruth t;
+  t.total_duration_s = 180.0;
+  t.startup_delay_s = 0.5;
+  t.average_height = 720.0;
+  t.stall_count = 0;
+  t.stall_duration_s = 0.0;
+  t.switch_count = 0;
+  return t;
+}
+
+TEST(MosLevels, MokThresholds) {
+  const MosModel m;
+  EXPECT_EQ(initial_delay_level(0.5, m), 0);
+  EXPECT_EQ(initial_delay_level(3.0, m), 1);
+  EXPECT_EQ(initial_delay_level(10.0, m), 2);
+
+  // 1 stall in 180 s ~ 0.006 Hz -> level 0; 10 stalls -> 0.056 Hz -> 1;
+  // 60 stalls -> 0.33 Hz -> 2.
+  EXPECT_EQ(stall_frequency_level(1, 180.0, m), 0);
+  EXPECT_EQ(stall_frequency_level(10, 180.0, m), 1);
+  EXPECT_EQ(stall_frequency_level(60, 180.0, m), 2);
+  EXPECT_EQ(stall_frequency_level(0, 180.0, m), 0);
+
+  EXPECT_EQ(stall_duration_level(2.0, 1, m), 0);   // 2 s per stall
+  EXPECT_EQ(stall_duration_level(16.0, 2, m), 1);  // 8 s per stall
+  EXPECT_EQ(stall_duration_level(30.0, 2, m), 2);  // 15 s per stall
+  EXPECT_EQ(stall_duration_level(0.0, 0, m), 0);
+}
+
+TEST(MosFromGroundTruth, CleanHdSessionNearBase) {
+  EXPECT_NEAR(mos_from_ground_truth(clean_hd_session()), 4.23, 1e-9);
+}
+
+TEST(MosFromGroundTruth, ImpairmentsMonotonicallyHurt) {
+  auto t = clean_hd_session();
+  const double clean = mos_from_ground_truth(t);
+
+  t.stall_count = 10;
+  t.stall_duration_s = 80.0;
+  const double stalled = mos_from_ground_truth(t);
+  EXPECT_LT(stalled, clean);
+
+  t.average_height = 240.0;  // LD on top of the stalls
+  const double stalled_ld = mos_from_ground_truth(t);
+  EXPECT_LT(stalled_ld, stalled);
+
+  t.switch_count = 5;
+  t.switch_amplitude = 1.0;
+  EXPECT_LT(mos_from_ground_truth(t), stalled_ld);
+}
+
+TEST(MosFromGroundTruth, ClampedToScale) {
+  auto t = clean_hd_session();
+  t.stall_count = 200;
+  t.stall_duration_s = 3000.0;
+  t.average_height = 144.0;
+  t.switch_count = 50;
+  t.switch_amplitude = 3.0;
+  t.startup_delay_s = 30.0;
+  const double mos = mos_from_ground_truth(t);
+  EXPECT_GE(mos, 1.0);
+  EXPECT_LE(mos, 5.0);
+}
+
+TEST(MosFromReport, SeverityOrdering) {
+  QoeReport healthy;
+  healthy.stall = StallLabel::no_stalls;
+  healthy.representation = ReprLabel::hd;
+  healthy.quality_switches = false;
+
+  QoeReport mild = healthy;
+  mild.stall = StallLabel::mild_stalls;
+  QoeReport severe = healthy;
+  severe.stall = StallLabel::severe_stalls;
+
+  EXPECT_GT(mos_from_report(healthy), mos_from_report(mild));
+  EXPECT_GT(mos_from_report(mild), mos_from_report(severe));
+}
+
+TEST(MosFromReport, InitialDelayTermApplied) {
+  QoeReport report;
+  report.representation = ReprLabel::hd;
+  EXPECT_GT(mos_from_report(report, 0.2), mos_from_report(report, 8.0));
+}
+
+TEST(MosEndToEnd, DetectedMosTracksTruthMos) {
+  auto options = workload::has_corpus_options(500, 51);
+  options.keep_session_results = false;
+  const auto sessions = sessions_from_corpus(workload::generate_corpus(options));
+  const auto pipeline = QoePipeline::train(sessions);
+
+  double cov = 0.0, vt = 0.0, ve = 0.0, mt = 0.0, me = 0.0;
+  std::vector<std::pair<double, double>> pairs;
+  for (const auto& s : sessions) {
+    const double truth_mos = mos_from_ground_truth(s.truth);
+    const double detected_mos = mos_from_report(
+        pipeline.assess(s.chunks), estimate_startup_delay(s.chunks));
+    pairs.emplace_back(truth_mos, detected_mos);
+    mt += truth_mos;
+    me += detected_mos;
+  }
+  mt /= static_cast<double>(pairs.size());
+  me /= static_cast<double>(pairs.size());
+  for (const auto& [t, e] : pairs) {
+    cov += (t - mt) * (e - me);
+    vt += (t - mt) * (t - mt);
+    ve += (e - me) * (e - me);
+  }
+  ASSERT_GT(vt, 0.0);
+  ASSERT_GT(ve, 0.0);
+  const double correlation = cov / std::sqrt(vt * ve);
+  EXPECT_GT(correlation, 0.6);
+}
+
+}  // namespace
+}  // namespace vqoe::core

@@ -1,0 +1,45 @@
+// OnlineMonitor with non-YouTube service host lists: the monitor and the
+// batch reconstructor must honour the same service configuration.
+#include <gtest/gtest.h>
+
+#include "vqoe/core/online.h"
+#include "vqoe/workload/corpus.h"
+#include "vqoe/workload/service.h"
+
+namespace vqoe::core {
+namespace {
+
+TEST(OnlineMonitorService, VimeoLikeHostsRecognized) {
+  const auto service = workload::vimeo_like_service();
+
+  auto train_options = workload::has_corpus_options(250, 61);
+  train_options.keep_session_results = false;
+  const auto pipeline = QoePipeline::train(
+      sessions_from_corpus(workload::generate_corpus(train_options)));
+
+  auto live_options = workload::encrypted_corpus_options(25, 62);
+  live_options.service = service;
+  live_options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(live_options);
+  const auto records = trace::encrypt_view(std::move(corpus.weblogs));
+
+  // Default (YouTube) host lists must see nothing...
+  OnlineMonitor youtube_monitor{pipeline};
+  for (const auto& r : records) youtube_monitor.ingest(r);
+  EXPECT_TRUE(youtube_monitor.flush().empty());
+
+  // ...the service's own lists must recover the sessions.
+  OnlineMonitorConfig config;
+  config.reconstruction.cdn_suffixes = service.cdn_suffixes();
+  config.reconstruction.page_marker_hosts = service.page_marker_hosts();
+  config.reconstruction.service_suffixes = service.service_suffixes();
+  OnlineMonitor monitor{pipeline, config};
+  std::size_t completed = 0;
+  for (const auto& r : records) completed += monitor.ingest(r).size();
+  completed += monitor.flush().size();
+  EXPECT_GE(completed, 20u);
+  EXPECT_LE(completed, 30u);
+}
+
+}  // namespace
+}  // namespace vqoe::core

@@ -1,0 +1,153 @@
+#include "vqoe/core/online.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vqoe::core {
+namespace {
+
+class OnlineMonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto train_options = workload::has_corpus_options(400, 17);
+    train_options.keep_session_results = false;
+    pipeline_ = new QoePipeline{QoePipeline::train(
+        sessions_from_corpus(workload::generate_corpus(train_options)))};
+
+    auto live_options = workload::encrypted_corpus_options(60, 18);
+    live_options.keep_session_results = false;
+    auto corpus = workload::generate_corpus(live_options);
+    records_ = new std::vector<trace::WeblogRecord>{
+        trace::encrypt_view(std::move(corpus.weblogs))};
+    truths_ = new std::vector<trace::SessionGroundTruth>{std::move(corpus.truths)};
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete records_;
+    delete truths_;
+    pipeline_ = nullptr;
+    records_ = nullptr;
+    truths_ = nullptr;
+  }
+
+  static QoePipeline* pipeline_;
+  static std::vector<trace::WeblogRecord>* records_;
+  static std::vector<trace::SessionGroundTruth>* truths_;
+};
+
+QoePipeline* OnlineMonitorTest::pipeline_ = nullptr;
+std::vector<trace::WeblogRecord>* OnlineMonitorTest::records_ = nullptr;
+std::vector<trace::SessionGroundTruth>* OnlineMonitorTest::truths_ = nullptr;
+
+TEST_F(OnlineMonitorTest, MatchesBatchReconstruction) {
+  OnlineMonitor monitor{*pipeline_};
+  std::vector<CompletedSession> online;
+  for (const auto& record : *records_) {
+    auto done = monitor.ingest(record);
+    online.insert(online.end(), done.begin(), done.end());
+  }
+  auto rest = monitor.flush();
+  online.insert(online.end(), rest.begin(), rest.end());
+
+  const auto batch = session::reconstruct(*records_);
+  ASSERT_EQ(online.size(), batch.size());
+
+  // Same boundaries: compare sorted (start, chunk_count) pairs.
+  auto key = [](double start, std::size_t chunks) {
+    return std::pair{start, chunks};
+  };
+  std::vector<std::pair<double, std::size_t>> a, b;
+  for (const auto& s : online) a.push_back(key(s.start_time_s, s.chunk_count));
+  for (const auto& s : batch) {
+    b.push_back(key(s.media.empty() ? s.start_time_s : s.start_time_s,
+                    s.media.size()));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].second, b[i].second) << "session " << i;
+  }
+}
+
+TEST_F(OnlineMonitorTest, ReportsMatchBatchAssessment) {
+  OnlineMonitor monitor{*pipeline_};
+  std::vector<CompletedSession> online;
+  for (const auto& record : *records_) {
+    auto done = monitor.ingest(record);
+    online.insert(online.end(), done.begin(), done.end());
+  }
+  auto rest = monitor.flush();
+  online.insert(online.end(), rest.begin(), rest.end());
+
+  const auto batch = session::reconstruct(*records_);
+  // Index batch sessions by first media timestamp.
+  std::map<double, const session::ReconstructedSession*> by_start;
+  for (const auto& s : batch) {
+    if (!s.media.empty()) by_start[s.media.front().timestamp_s] = &s;
+  }
+  std::size_t compared = 0;
+  for (const auto& s : online) {
+    // Online start time is the first service record; find the batch session
+    // covering it.
+    for (const auto& [start, batch_session] : by_start) {
+      if (std::abs(start - s.start_time_s) < 5.0 &&
+          batch_session->media.size() == s.chunk_count) {
+        const auto expected =
+            pipeline_->assess(chunks_from_session(*batch_session));
+        EXPECT_EQ(s.report.stall, expected.stall);
+        EXPECT_DOUBLE_EQ(s.report.switch_score, expected.switch_score);
+        ++compared;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(compared, online.size() / 2);
+}
+
+TEST_F(OnlineMonitorTest, AdvanceToFlushesIdleSessions) {
+  OnlineMonitor monitor{*pipeline_};
+  // Feed only the first half of the records.
+  const std::size_t half = records_->size() / 2;
+  for (std::size_t i = 0; i < half; ++i) monitor.ingest((*records_)[i]);
+  EXPECT_GT(monitor.open_sessions(), 0u);
+
+  const double far_future = (*records_)[half - 1].timestamp_s + 1e6;
+  const auto done = monitor.advance_to(far_future);
+  EXPECT_EQ(monitor.open_sessions(), 0u);
+  EXPECT_FALSE(done.empty());
+}
+
+TEST_F(OnlineMonitorTest, MinChunksDiscardsNoise) {
+  OnlineMonitorConfig config;
+  config.min_chunks = 1000000;  // nothing qualifies
+  OnlineMonitor monitor{*pipeline_, config};
+  for (const auto& record : *records_) monitor.ingest(record);
+  const auto done = monitor.flush();
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(monitor.sessions_reported(), 0u);
+  EXPECT_GT(monitor.sessions_discarded(), 0u);
+}
+
+TEST_F(OnlineMonitorTest, IgnoresForeignTraffic) {
+  OnlineMonitor monitor{*pipeline_};
+  trace::WeblogRecord alien;
+  alien.subscriber_id = "x";
+  alien.host = "cdn.example.net";
+  alien.timestamp_s = 1.0;
+  alien.object_size_bytes = 1'000'000;
+  EXPECT_TRUE(monitor.ingest(alien).empty());
+  EXPECT_EQ(monitor.open_sessions(), 0u);
+}
+
+TEST_F(OnlineMonitorTest, CountersConsistent) {
+  OnlineMonitor monitor{*pipeline_};
+  std::size_t emitted = 0;
+  for (const auto& record : *records_) emitted += monitor.ingest(record).size();
+  emitted += monitor.flush().size();
+  EXPECT_EQ(monitor.sessions_reported(), emitted);
+  EXPECT_EQ(monitor.open_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace vqoe::core

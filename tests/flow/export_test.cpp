@@ -1,0 +1,93 @@
+#include "vqoe/flow/export.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::flow {
+namespace {
+
+trace::WeblogRecord media(const std::string& sub, double t, double duration,
+                          std::uint64_t bytes,
+                          const std::string& host = "r1---sn-x.googlevideo.com") {
+  trace::WeblogRecord r;
+  r.subscriber_id = sub;
+  r.host = host;
+  r.timestamp_s = t;
+  r.transaction_time_s = duration;
+  r.object_size_bytes = bytes;
+  r.kind = trace::RecordKind::media;
+  return r;
+}
+
+TEST(FlowExport, ConservesDownstreamBytes) {
+  std::vector<trace::WeblogRecord> records{
+      media("a", 0.0, 2.5, 500'000), media("a", 5.0, 1.5, 300'000),
+      media("a", 10.0, 0.7, 100'000)};
+  const auto slices = export_flows(records, {.slice_s = 1.0});
+  std::uint64_t total = 0;
+  for (const auto& s : slices) total += s.bytes_down;
+  // Uniform spreading rounds each window; allow 1 byte per window of slack.
+  EXPECT_NEAR(static_cast<double>(total), 900'000.0, 16.0);
+}
+
+TEST(FlowExport, SlicesAlignedToGrid) {
+  std::vector<trace::WeblogRecord> records{media("a", 3.7, 2.0, 100'000)};
+  const auto slices = export_flows(records, {.slice_s = 1.0});
+  for (const auto& s : slices) {
+    EXPECT_DOUBLE_EQ(s.start_s, std::floor(s.start_s));
+    EXPECT_DOUBLE_EQ(s.end_s - s.start_s, 1.0);
+    EXPECT_GE(s.end_s, 3.7);
+    EXPECT_LE(s.start_s, 5.7);
+  }
+}
+
+TEST(FlowExport, PersistentConnectionSharesFlow) {
+  std::vector<trace::WeblogRecord> records{media("a", 0.0, 1.0, 100'000),
+                                           media("a", 5.0, 1.0, 100'000)};
+  const auto slices = export_flows(records, {.slice_s = 1.0});
+  ASSERT_FALSE(slices.empty());
+  for (const auto& s : slices) {
+    EXPECT_EQ(s.key.connection_id, slices.front().key.connection_id);
+  }
+}
+
+TEST(FlowExport, IdleTimeoutOpensNewConnection) {
+  std::vector<trace::WeblogRecord> records{media("a", 0.0, 1.0, 100'000),
+                                           media("a", 100.0, 1.0, 100'000)};
+  FlowExportOptions options;
+  options.idle_timeout_s = 15.0;
+  const auto slices = export_flows(records, options);
+  std::set<std::uint32_t> connections;
+  for (const auto& s : slices) connections.insert(s.key.connection_id);
+  EXPECT_EQ(connections.size(), 2u);
+}
+
+TEST(FlowExport, SubscribersAndHostsSeparateFlows) {
+  std::vector<trace::WeblogRecord> records{
+      media("a", 0.0, 1.0, 100'000), media("b", 0.0, 1.0, 100'000),
+      media("a", 0.0, 1.0, 100'000, "i.ytimg.com")};
+  const auto slices = export_flows(records, {});
+  std::set<std::pair<std::string, std::string>> flows;
+  for (const auto& s : slices) flows.insert({s.key.subscriber_id, s.key.server_host});
+  EXPECT_EQ(flows.size(), 3u);
+}
+
+TEST(FlowExport, UpstreamRequestBytesPresent) {
+  std::vector<trace::WeblogRecord> records{media("a", 0.0, 1.0, 1'000'000)};
+  const auto slices = export_flows(records, {});
+  std::uint64_t up = 0;
+  for (const auto& s : slices) up += s.bytes_up;
+  EXPECT_GT(up, 400u);           // at least the request
+  EXPECT_LT(up, 1'000'000u / 10);  // far less than the payload
+}
+
+TEST(FlowExport, PacketCountsTrackBytes) {
+  std::vector<trace::WeblogRecord> records{media("a", 0.0, 1.0, 144'800)};
+  const auto slices = export_flows(records, {.slice_s = 10.0});
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_NEAR(slices.front().packets_down, 100, 2);
+}
+
+TEST(FlowExport, EmptyInput) { EXPECT_TRUE(export_flows({}, {}).empty()); }
+
+}  // namespace
+}  // namespace vqoe::flow

@@ -1,0 +1,121 @@
+#include "vqoe/flow/reassembly.h"
+
+#include <gtest/gtest.h>
+
+#include "vqoe/core/pipeline.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::flow {
+namespace {
+
+FlowSlice slice(double start, std::uint64_t bytes,
+                std::uint32_t connection = 1) {
+  FlowSlice s;
+  s.key = {"sub", "r1---sn-x.googlevideo.com", connection};
+  s.start_s = start;
+  s.end_s = start + 1.0;
+  s.bytes_down = bytes;
+  return s;
+}
+
+TEST(SegmentBursts, QuietGapSplits) {
+  std::vector<FlowSlice> slices{slice(0, 100'000), slice(1, 100'000),
+                                slice(10, 200'000)};
+  const auto bursts = segment_bursts(slices, {.quiet_gap_s = 2.0,
+                                              .min_burst_bytes = 1});
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].bytes, 200'000u);
+  EXPECT_DOUBLE_EQ(bursts[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(bursts[0].end_s, 2.0);
+  EXPECT_EQ(bursts[1].bytes, 200'000u);
+}
+
+TEST(SegmentBursts, ContiguousSlicesMerge) {
+  std::vector<FlowSlice> slices{slice(0, 50'000), slice(1, 50'000),
+                                slice(2, 50'000)};
+  const auto bursts = segment_bursts(slices, {.quiet_gap_s = 2.0,
+                                              .min_burst_bytes = 1});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].bytes, 150'000u);
+}
+
+TEST(SegmentBursts, MinBytesFiltersChatter) {
+  std::vector<FlowSlice> slices{slice(0, 500), slice(10, 500'000)};
+  const auto bursts = segment_bursts(slices, {.quiet_gap_s = 2.0,
+                                              .min_burst_bytes = 4'000});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].bytes, 500'000u);
+}
+
+TEST(SegmentBursts, FlowsNeverMerge) {
+  std::vector<FlowSlice> slices{slice(0, 100'000, 1), slice(1, 100'000, 2)};
+  const auto bursts = segment_bursts(slices, {.quiet_gap_s = 5.0,
+                                              .min_burst_bytes = 1});
+  EXPECT_EQ(bursts.size(), 2u);
+}
+
+TEST(SegmentBursts, UnsortedInputHandled) {
+  std::vector<FlowSlice> slices{slice(10, 100'000), slice(0, 100'000),
+                                slice(1, 100'000)};
+  const auto bursts = segment_bursts(slices, {.quiet_gap_s = 2.0,
+                                              .min_burst_bytes = 1});
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_DOUBLE_EQ(bursts[0].start_s, 0.0);
+}
+
+TEST(BurstsToWeblogs, MediaRecordsSorted) {
+  std::vector<FlowSlice> slices{slice(10, 300'000), slice(0, 100'000)};
+  const auto bursts = segment_bursts(slices, {.quiet_gap_s = 2.0,
+                                              .min_burst_bytes = 1});
+  const auto records = bursts_to_weblogs(bursts);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LT(records[0].timestamp_s, records[1].timestamp_s);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.kind, trace::RecordKind::media);
+    EXPECT_TRUE(r.encrypted);
+    EXPECT_EQ(r.subscriber_id, "sub");
+    EXPECT_GT(r.transaction_time_s, 0.0);
+  }
+}
+
+TEST(FlowPipeline, EndToEndRecoversSessions) {
+  // Weblogs -> flow slices -> bursts -> pseudo records -> session
+  // reconstruction: session count should be close to the ground truth.
+  auto options = workload::encrypted_corpus_options(30, 31);
+  options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(options);
+  corpus.weblogs = trace::encrypt_view(std::move(corpus.weblogs));
+
+  const auto slices = export_flows(corpus.weblogs, {.slice_s = 0.5});
+  const auto bursts = segment_bursts(slices, {});
+  const auto records = bursts_to_weblogs(bursts);
+  const auto sessions =
+      core::sessions_from_encrypted(records, corpus.truths);
+  EXPECT_GT(sessions.size(), 24u);
+  for (const auto& s : sessions) {
+    EXPECT_GE(s.chunks.size(), 1u);
+  }
+}
+
+TEST(FlowPipeline, ByteConservationThroughBursts) {
+  auto options = workload::encrypted_corpus_options(10, 32);
+  options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(options);
+
+  std::uint64_t media_bytes = 0;
+  for (const auto& r : corpus.weblogs) {
+    if (r.kind == trace::RecordKind::media) media_bytes += r.object_size_bytes;
+  }
+  const auto slices = export_flows(corpus.weblogs, {.slice_s = 0.5});
+  BurstOptions no_filter;
+  no_filter.min_burst_bytes = 1;
+  const auto bursts = segment_bursts(slices, no_filter);
+  std::uint64_t burst_bytes = 0;
+  for (const auto& b : bursts) burst_bytes += b.bytes;
+  // Bursts also contain page objects and reports; media dominates. Allow 5%.
+  EXPECT_GT(static_cast<double>(burst_bytes),
+            0.95 * static_cast<double>(media_bytes));
+}
+
+}  // namespace
+}  // namespace vqoe::flow

@@ -1,0 +1,92 @@
+#include "vqoe/ml/adaboost.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed, double separation) {
+  Dataset d{{"f0", "f1"}, {"a", "b", "c"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({n(rng), n(rng)}, 0);
+    d.add({n(rng) + separation, n(rng)}, 1);
+    d.add({n(rng), n(rng) + separation}, 2);
+  }
+  return d;
+}
+
+double accuracy(const AdaBoost& model, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    if (model.predict(d.row(i)) == d.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.rows());
+}
+
+TEST(AdaBoost, ValidatesInputs) {
+  const Dataset empty{{"f"}, {"x"}};
+  EXPECT_THROW(AdaBoost::fit(empty), std::invalid_argument);
+  const auto d = blobs(10, 1, 4.0);
+  AdaBoostParams params;
+  params.rounds = 0;
+  EXPECT_THROW(AdaBoost::fit(d, params), std::invalid_argument);
+}
+
+TEST(AdaBoost, LearnsSeparableMulticlass) {
+  const auto model = AdaBoost::fit(blobs(100, 2, 4.0));
+  EXPECT_GT(accuracy(model, blobs(60, 3, 4.0)), 0.95);
+}
+
+TEST(AdaBoost, BoostingDrivesTrainingErrorDown) {
+  // The core AdaBoost property: ensemble training error shrinks with
+  // rounds even when a single weak learner cannot fit the data.
+  const auto train = blobs(200, 4, 2.2);
+  AdaBoostParams one;
+  one.rounds = 1;
+  one.max_depth = 1;
+  AdaBoostParams many;
+  many.rounds = 80;
+  many.max_depth = 1;
+  const double single = accuracy(AdaBoost::fit(train, one), train);
+  const double boosted = accuracy(AdaBoost::fit(train, many), train);
+  EXPECT_GT(boosted, single + 0.05);
+}
+
+TEST(AdaBoost, PerfectWeakLearnerStopsEarly) {
+  // Trivially separable in one split: the first learner is perfect.
+  Dataset d{{"f"}, {"a", "b"}};
+  for (int i = 0; i < 40; ++i) d.add({static_cast<double>(i)}, i < 20 ? 0 : 1);
+  const auto model = AdaBoost::fit(d, {.rounds = 50, .max_depth = 2, .seed = 1});
+  EXPECT_LE(model.rounds_used(), 2u);
+  EXPECT_NEAR(accuracy(model, d), 1.0, 1e-9);
+}
+
+TEST(AdaBoost, SingleClassDegenerate) {
+  Dataset d{{"f"}, {"only", "never"}};
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 0);
+  const auto model = AdaBoost::fit(d);
+  EXPECT_TRUE(model.trained());
+  EXPECT_EQ(model.predict(d.row(3)), 0);
+}
+
+TEST(AdaBoost, DeterministicForSeed) {
+  const auto d = blobs(60, 6, 2.0);
+  const auto a = AdaBoost::fit(d, {.rounds = 20, .max_depth = 2, .seed = 9});
+  const auto b = AdaBoost::fit(d, {.rounds = 20, .max_depth = 2, .seed = 9});
+  for (std::size_t i = 0; i < d.rows(); i += 7) {
+    EXPECT_EQ(a.predict(d.row(i)), b.predict(d.row(i)));
+  }
+}
+
+TEST(AdaBoost, UntrainedThrows) {
+  const AdaBoost model;
+  const std::vector<double> x{0.0, 0.0};
+  EXPECT_THROW((void)model.predict(x), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vqoe::ml

@@ -1,0 +1,95 @@
+#include "vqoe/ml/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+Dataset uniform_dataset(std::size_t rows, std::uint64_t seed) {
+  Dataset d{{"u", "c"}, {"x", "y"}};
+  std::mt19937_64 rng{seed};
+  std::uniform_real_distribution<double> value(0.0, 1.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    d.add({value(rng), 7.0}, static_cast<int>(i % 2));
+  }
+  return d;
+}
+
+TEST(BinnedMatrix, ValidatesMaxBins) {
+  const Dataset d = uniform_dataset(10, 1);
+  EXPECT_THROW(BinnedMatrix::build(d, 1), std::invalid_argument);
+  EXPECT_THROW(BinnedMatrix::build(d, 300), std::invalid_argument);
+}
+
+TEST(BinnedMatrix, ConstantColumnGetsSingleBin) {
+  const Dataset d = uniform_dataset(100, 2);
+  const auto m = BinnedMatrix::build(d, 16);
+  EXPECT_EQ(m.bin_count(1), 1);
+  for (std::size_t r = 0; r < d.rows(); ++r) EXPECT_EQ(m.bin(r, 1), 0);
+}
+
+TEST(BinnedMatrix, BinsAreOrderConsistentWithValues) {
+  const Dataset d = uniform_dataset(500, 3);
+  const auto m = BinnedMatrix::build(d, 16);
+  for (std::size_t a = 0; a < 100; ++a) {
+    for (std::size_t b = a + 1; b < 100; ++b) {
+      if (d.at(a, 0) < d.at(b, 0)) {
+        EXPECT_LE(m.bin(a, 0), m.bin(b, 0));
+      }
+    }
+  }
+}
+
+TEST(BinnedMatrix, ThresholdsSeparateBins) {
+  const Dataset d = uniform_dataset(500, 4);
+  const auto m = BinnedMatrix::build(d, 8);
+  const int bins = m.bin_count(0);
+  ASSERT_GE(bins, 2);
+  for (std::size_t r = 0; r < d.rows(); ++r) {
+    const int bin = m.bin(r, 0);
+    const double v = d.at(r, 0);
+    if (bin > 0) {
+      EXPECT_GT(v, m.threshold(0, bin - 1));
+    }
+    if (bin < bins - 1) {
+      EXPECT_LE(v, m.threshold(0, bin));
+    }
+  }
+}
+
+TEST(BinnedMatrix, EqualFrequencyRoughlyBalanced) {
+  const Dataset d = uniform_dataset(1000, 5);
+  const int kBins = 10;
+  const auto m = BinnedMatrix::build(d, kBins);
+  std::vector<int> counts(static_cast<std::size_t>(m.bin_count(0)), 0);
+  for (std::size_t r = 0; r < d.rows(); ++r) counts[m.bin(r, 0)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 50);   // perfectly balanced would be 100
+    EXPECT_LT(c, 200);
+  }
+}
+
+TEST(BinnedMatrix, TwoDistinctValuesSplit) {
+  Dataset d{{"f"}, {"x", "y"}};
+  for (int i = 0; i < 10; ++i) d.add({0.0}, 0);
+  for (int i = 0; i < 10; ++i) d.add({1.0}, 1);
+  const auto m = BinnedMatrix::build(d, 32);
+  EXPECT_GE(m.bin_count(0), 2);
+  EXPECT_LT(m.bin(0, 0), m.bin(10, 0));
+}
+
+TEST(BinnedMatrix, HeavilySkewedColumnStillSplits) {
+  // 99% zeros, 1% ones: quantile cuts collapse; the fallback boundary must
+  // still separate the two values.
+  Dataset d{{"f"}, {"x", "y"}};
+  for (int i = 0; i < 990; ++i) d.add({0.0}, 0);
+  for (int i = 0; i < 10; ++i) d.add({1.0}, 1);
+  const auto m = BinnedMatrix::build(d, 16);
+  ASSERT_GE(m.bin_count(0), 2);
+  EXPECT_LT(m.bin(0, 0), m.bin(995, 0));
+}
+
+}  // namespace
+}  // namespace vqoe::ml

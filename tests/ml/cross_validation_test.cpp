@@ -1,0 +1,108 @@
+#include "vqoe/ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <set>
+
+namespace vqoe::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed) {
+  Dataset d{{"f0", "f1"}, {"a", "b"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({n(rng), n(rng)}, 0);
+    d.add({n(rng) + 4.0, n(rng) + 4.0}, 1);
+  }
+  return d;
+}
+
+TEST(StratifiedFolds, PartitionExactlyOnce) {
+  const Dataset d = blobs(53, 1);
+  std::mt19937_64 rng{2};
+  const auto folds = stratified_folds(d, 10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& fold : folds) {
+    total += fold.size();
+    for (std::size_t idx : fold) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(total, d.rows());
+}
+
+TEST(StratifiedFolds, EachFoldHasBothClasses) {
+  const Dataset d = blobs(50, 3);
+  std::mt19937_64 rng{4};
+  const auto folds = stratified_folds(d, 5, rng);
+  for (const auto& fold : folds) {
+    std::size_t pos = 0;
+    for (std::size_t idx : fold) pos += static_cast<std::size_t>(d.label(idx));
+    EXPECT_GT(pos, 0u);
+    EXPECT_LT(pos, fold.size());
+  }
+}
+
+TEST(StratifiedFolds, RejectsTooFewFolds) {
+  const Dataset d = blobs(10, 5);
+  std::mt19937_64 rng{6};
+  EXPECT_THROW(stratified_folds(d, 1, rng), std::invalid_argument);
+}
+
+TEST(CrossValidate, HighAccuracyOnSeparableData) {
+  const Dataset d = blobs(80, 7);
+  ForestParams forest;
+  forest.num_trees = 15;
+  const auto cm = cross_validate(d, forest, {});
+  EXPECT_EQ(cm.total(), d.rows());
+  EXPECT_GT(cm.accuracy(), 0.95);
+}
+
+TEST(CrossValidate, ImbalancedDataStillEvaluatesEveryRow) {
+  Dataset d{{"f0", "f1"}, {"common", "rare"}};
+  std::mt19937_64 rng{8};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (int i = 0; i < 300; ++i) d.add({n(rng), n(rng)}, 0);
+  for (int i = 0; i < 30; ++i) d.add({n(rng) + 5.0, n(rng)}, 1);
+
+  CrossValidationOptions options;
+  options.folds = 5;
+  const auto cm = cross_validate(d, {}, options);
+  EXPECT_EQ(cm.total(), d.rows());
+  EXPECT_GT(cm.tp_rate(1), 0.8);  // balancing protects the rare class
+}
+
+TEST(CrossValidateWith, CustomPredictorIsUsed) {
+  const Dataset d = blobs(40, 9);
+  CrossValidationOptions options;
+  options.folds = 4;
+  // A "classifier" that always answers 1.
+  const auto cm = cross_validate_with(
+      d,
+      [](const Dataset&) {
+        return [](std::span<const double>) { return 1; };
+      },
+      options);
+  EXPECT_DOUBLE_EQ(cm.tp_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.tp_rate(0), 0.0);
+  EXPECT_NEAR(cm.accuracy(), 0.5, 1e-9);
+}
+
+TEST(CrossValidate, DeterministicForFixedSeed) {
+  const Dataset d = blobs(50, 10);
+  CrossValidationOptions options;
+  options.seed = 123;
+  const auto cm1 = cross_validate(d, {}, options);
+  const auto cm2 = cross_validate(d, {}, options);
+  for (int a = 0; a < 2; ++a) {
+    for (int p = 0; p < 2; ++p) EXPECT_EQ(cm1.count(a, p), cm2.count(a, p));
+  }
+}
+
+}  // namespace
+}  // namespace vqoe::ml

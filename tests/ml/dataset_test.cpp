@@ -1,0 +1,143 @@
+#include "vqoe/ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+Dataset make_small() {
+  Dataset d{{"a", "b"}, {"x", "y"}};
+  d.add({1.0, 10.0}, 0);
+  d.add({2.0, 20.0}, 1);
+  d.add({3.0, 30.0}, 0);
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 2u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 20.0);
+  EXPECT_EQ(d.label(2), 0);
+  EXPECT_EQ(d.feature_index("b"), 1u);
+  const auto col = d.column(0);
+  EXPECT_EQ(col, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Dataset, RejectsDuplicateFeatureNames) {
+  EXPECT_THROW((Dataset{{"a", "a"}, {"x"}}), std::invalid_argument);
+}
+
+TEST(Dataset, AddValidatesRowAndLabel) {
+  Dataset d{{"a"}, {"x", "y"}};
+  EXPECT_THROW(d.add({1.0, 2.0}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add({1.0}, 2), std::invalid_argument);
+  EXPECT_THROW(d.add({1.0}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, UnknownFeatureNameThrows) {
+  const Dataset d = make_small();
+  EXPECT_THROW((void)d.feature_index("zzz"), std::out_of_range);
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset d = make_small();
+  const auto counts = d.class_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(Dataset, ProjectReordersColumns) {
+  const Dataset d = make_small();
+  const std::vector<std::string> names{"b", "a"};
+  const Dataset p = d.project(names);
+  EXPECT_EQ(p.cols(), 2u);
+  EXPECT_EQ(p.feature_names()[0], "b");
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 1.0);
+  EXPECT_EQ(p.label(0), 0);
+}
+
+TEST(Dataset, ProjectSubset) {
+  const Dataset d = make_small();
+  const std::vector<std::string> names{"b"};
+  const Dataset p = d.project(names);
+  EXPECT_EQ(p.cols(), 1u);
+  EXPECT_EQ(p.rows(), 3u);
+}
+
+TEST(Dataset, SelectRowsAllowsDuplicates) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx{2, 2, 0};
+  const Dataset s = d.select_rows(idx);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 0), 1.0);
+}
+
+TEST(Dataset, BalancedUndersampleEqualizesToMinimum) {
+  Dataset d{{"a"}, {"x", "y", "z"}};
+  std::mt19937_64 rng{1};
+  for (int i = 0; i < 50; ++i) d.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 1);
+  for (int i = 0; i < 7; ++i) d.add({static_cast<double>(i)}, 2);
+
+  const Dataset b = d.balanced_undersample(rng);
+  const auto counts = b.class_counts();
+  EXPECT_EQ(counts[0], 7u);
+  EXPECT_EQ(counts[1], 7u);
+  EXPECT_EQ(counts[2], 7u);
+}
+
+TEST(Dataset, BalancedOversampleEqualizesToMaximum) {
+  Dataset d{{"a"}, {"x", "y"}};
+  std::mt19937_64 rng{2};
+  for (int i = 0; i < 30; ++i) d.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 4; ++i) d.add({static_cast<double>(i)}, 1);
+
+  const Dataset b = d.balanced_oversample(rng);
+  const auto counts = b.class_counts();
+  EXPECT_EQ(counts[0], 30u);
+  EXPECT_EQ(counts[1], 30u);
+}
+
+TEST(Dataset, BalanceIgnoresEmptyClasses) {
+  Dataset d{{"a"}, {"x", "y", "z"}};
+  std::mt19937_64 rng{3};
+  for (int i = 0; i < 10; ++i) d.add({1.0}, 0);
+  for (int i = 0; i < 5; ++i) d.add({2.0}, 1);
+  // class 2 empty
+  const Dataset b = d.balanced_undersample(rng);
+  const auto counts = b.class_counts();
+  EXPECT_EQ(counts[0], 5u);
+  EXPECT_EQ(counts[1], 5u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Dataset, StratifiedSplitPreservesClassRatios) {
+  Dataset d{{"a"}, {"x", "y"}};
+  std::mt19937_64 rng{4};
+  for (int i = 0; i < 80; ++i) d.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 1);
+
+  const auto [train, test] = d.stratified_split(0.25, rng);
+  EXPECT_EQ(test.rows(), 25u);
+  EXPECT_EQ(train.rows(), 75u);
+  EXPECT_EQ(test.class_counts()[0], 20u);
+  EXPECT_EQ(test.class_counts()[1], 5u);
+}
+
+TEST(Dataset, StratifiedSplitValidatesFraction) {
+  const Dataset d = make_small();
+  std::mt19937_64 rng{5};
+  EXPECT_THROW(d.stratified_split(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(d.stratified_split(1.5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqoe::ml

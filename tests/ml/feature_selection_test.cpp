@@ -1,0 +1,176 @@
+#include "vqoe/ml/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+TEST(Entropy, HandValues) {
+  const std::vector<std::size_t> fair{1, 1};
+  EXPECT_DOUBLE_EQ(entropy(fair), 1.0);
+  const std::vector<std::size_t> certain{10, 0};
+  EXPECT_DOUBLE_EQ(entropy(certain), 0.0);
+  const std::vector<std::size_t> quarters{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(entropy(quarters), 2.0);
+  EXPECT_DOUBLE_EQ(entropy({}), 0.0);
+}
+
+TEST(Discretize, ConstantColumnSingleBin) {
+  const std::vector<double> v(40, 3.0);
+  const auto codes = discretize_equal_frequency(v, 10);
+  for (int c : codes) EXPECT_EQ(c, 0);
+}
+
+TEST(Discretize, BinCodesOrderedWithValues) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  const auto codes = discretize_equal_frequency(v, 10);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GE(codes[i], codes[i - 1]);
+  EXPECT_EQ(codes.front(), 0);
+  EXPECT_EQ(codes.back(), 9);
+}
+
+TEST(Discretize, RejectsBadBins) {
+  const std::vector<double> v{1, 2};
+  EXPECT_THROW(discretize_equal_frequency(v, 0), std::invalid_argument);
+}
+
+TEST(InformationGain, PerfectPredictorGetsClassEntropy) {
+  // Feature == label: IG = H(Y) = 1 bit for balanced binary labels.
+  std::vector<int> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i % 2);
+    y.push_back(i % 2);
+  }
+  EXPECT_NEAR(information_gain(x, y), 1.0, 1e-9);
+}
+
+TEST(InformationGain, IndependentVariableNearZero) {
+  std::mt19937_64 rng{1};
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::vector<int> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(coin(rng));
+    y.push_back(coin(rng));
+  }
+  EXPECT_LT(information_gain(x, y), 0.01);
+}
+
+TEST(InformationGain, SizeMismatchThrows) {
+  const std::vector<int> x{1, 2};
+  const std::vector<int> y{1};
+  EXPECT_THROW((void)information_gain(x, y), std::invalid_argument);
+}
+
+TEST(SymmetricUncertainty, RangeAndSymmetry) {
+  std::mt19937_64 rng{2};
+  std::uniform_int_distribution<int> val(0, 4);
+  std::vector<int> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const int v = val(rng);
+    x.push_back(v);
+    y.push_back((v + val(rng)) % 5);
+  }
+  const double su_xy = symmetric_uncertainty(x, y);
+  const double su_yx = symmetric_uncertainty(y, x);
+  EXPECT_NEAR(su_xy, su_yx, 1e-12);
+  EXPECT_GE(su_xy, 0.0);
+  EXPECT_LE(su_xy, 1.0);
+}
+
+TEST(SymmetricUncertainty, IdenticalVariablesScoreOne) {
+  std::vector<int> x;
+  for (int i = 0; i < 60; ++i) x.push_back(i % 3);
+  EXPECT_NEAR(symmetric_uncertainty(x, x), 1.0, 1e-9);
+}
+
+TEST(SymmetricUncertainty, ConstantVariableScoresZero) {
+  const std::vector<int> x(50, 1);
+  std::vector<int> y;
+  for (int i = 0; i < 50; ++i) y.push_back(i % 2);
+  EXPECT_DOUBLE_EQ(symmetric_uncertainty(x, y), 0.0);
+}
+
+// A dataset with one informative feature, one redundant copy of it, and
+// noise columns — the canonical CFS test case.
+Dataset cfs_dataset(std::size_t rows, std::uint64_t seed) {
+  Dataset d{{"signal", "redundant", "noise1", "noise2"}, {"neg", "pos"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double signal = label * 4.0 + n(rng) * 0.5;
+    d.add({signal, signal + n(rng) * 0.05, n(rng), n(rng)}, label);
+  }
+  return d;
+}
+
+TEST(RankByInformationGain, SignalRanksFirst) {
+  const Dataset d = cfs_dataset(600, 3);
+  const auto ranked = rank_by_information_gain(d);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_TRUE(ranked[0].first == "signal" || ranked[0].first == "redundant");
+  EXPECT_GT(ranked[0].second, 0.5);
+  // Noise columns at the bottom with near-zero gain.
+  EXPECT_LT(ranked[3].second, 0.05);
+}
+
+TEST(CfsEvaluator, MeritPrefersInformativeFeature) {
+  const Dataset d = cfs_dataset(600, 4);
+  const CfsEvaluator eval{d};
+  const std::vector<std::size_t> signal{0};
+  const std::vector<std::size_t> noise{2};
+  EXPECT_GT(eval.merit(signal), eval.merit(noise));
+  EXPECT_DOUBLE_EQ(eval.merit({}), 0.0);
+}
+
+TEST(CfsEvaluator, RedundantAdditionDoesNotHelp) {
+  const Dataset d = cfs_dataset(600, 5);
+  const CfsEvaluator eval{d};
+  const std::vector<std::size_t> signal{0};
+  const std::vector<std::size_t> with_redundant{0, 1};
+  // Adding a near-copy of the signal should not raise the merit much (CFS's
+  // whole point: penalize inter-feature correlation).
+  EXPECT_LT(eval.merit(with_redundant), eval.merit(signal) * 1.05);
+}
+
+TEST(BestFirst, SelectsSignalAndDropsNoise) {
+  const Dataset d = cfs_dataset(800, 6);
+  const CfsEvaluator eval{d};
+  const auto selected = best_first_select(eval);
+  ASSERT_FALSE(selected.empty());
+  // Must contain at least one of the informative pair, and no noise columns
+  // ahead of them.
+  bool has_signal = false;
+  for (std::size_t col : selected) {
+    if (col == 0 || col == 1) has_signal = true;
+  }
+  EXPECT_TRUE(has_signal);
+}
+
+TEST(BestFirst, MaxSubsetCapRespected) {
+  const Dataset d = cfs_dataset(400, 7);
+  const CfsEvaluator eval{d};
+  BestFirstOptions options;
+  options.max_subset = 1;
+  const auto selected = best_first_select(eval, options);
+  EXPECT_LE(selected.size(), 1u);
+}
+
+TEST(CfsBestFirstNames, OrderedByGainDescending) {
+  const Dataset d = cfs_dataset(500, 8);
+  const auto names = cfs_best_first_feature_names(d);
+  ASSERT_FALSE(names.empty());
+  double prev = 1e9;
+  for (const std::string& name : names) {
+    const double gain = information_gain(d, d.feature_index(name));
+    EXPECT_LE(gain, prev + 1e-12);
+    prev = gain;
+  }
+}
+
+}  // namespace
+}  // namespace vqoe::ml

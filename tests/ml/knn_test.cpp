@@ -1,0 +1,88 @@
+#include "vqoe/ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed, double separation = 4.0) {
+  Dataset d{{"f0", "f1"}, {"a", "b"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({n(rng), n(rng)}, 0);
+    d.add({n(rng) + separation, n(rng) + separation}, 1);
+  }
+  return d;
+}
+
+TEST(KnnClassifier, ValidatesInputs) {
+  const Dataset empty{{"f"}, {"x"}};
+  EXPECT_THROW(KnnClassifier::fit(empty), std::invalid_argument);
+  const auto d = blobs(5, 1);
+  EXPECT_THROW(KnnClassifier::fit(d, 0), std::invalid_argument);
+}
+
+TEST(KnnClassifier, LearnsSeparableData) {
+  const auto model = KnnClassifier::fit(blobs(150, 2), 5);
+  const auto test = blobs(80, 3);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    if (model.predict(test.row(i)) == test.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.rows()),
+            0.97);
+}
+
+TEST(KnnClassifier, OneNearestNeighbourMemorizes) {
+  const auto d = blobs(30, 4);
+  const auto model = KnnClassifier::fit(d, 1);
+  for (std::size_t i = 0; i < d.rows(); i += 5) {
+    EXPECT_EQ(model.predict(d.row(i)), d.label(i));
+  }
+}
+
+TEST(KnnClassifier, KClampedToTrainingSize) {
+  Dataset d{{"f"}, {"a", "b"}};
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  const auto model = KnnClassifier::fit(d, 100);
+  EXPECT_EQ(model.k(), 2);
+  const std::vector<double> x{0.0};
+  (void)model.predict(x);  // must not crash
+}
+
+TEST(KnnClassifier, NormalizationMakesScalesIrrelevant) {
+  // Feature f1 carries the label but on a tiny scale; f0 is large noise.
+  // Without z-scoring, f0 would dominate the distance.
+  Dataset d{{"big_noise", "small_signal"}, {"a", "b"}};
+  std::mt19937_64 rng{5};
+  std::normal_distribution<double> noise(0.0, 1000.0);
+  for (int i = 0; i < 200; ++i) {
+    const int label = i % 2;
+    d.add({noise(rng), label * 0.001 + (label ? 0.0005 : -0.0005)}, label);
+  }
+  const auto model = KnnClassifier::fit(d, 7);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.rows(); i += 3) {
+    if (model.predict(d.row(i)) == d.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / (d.rows() / 3 + 1), 0.9);
+}
+
+TEST(KnnClassifier, WidthMismatchThrows) {
+  const auto model = KnnClassifier::fit(blobs(10, 6));
+  const std::vector<double> wrong{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)model.predict(wrong), std::invalid_argument);
+}
+
+TEST(KnnClassifier, UntrainedThrows) {
+  const KnnClassifier model;
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)model.predict(x), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vqoe::ml

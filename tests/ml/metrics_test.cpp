@@ -1,0 +1,116 @@
+#include "vqoe/ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::ml {
+namespace {
+
+ConfusionMatrix make_example() {
+  // actual\pred   a   b
+  //     a         8   2
+  //     b         1   9
+  ConfusionMatrix cm{{"a", "b"}};
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  for (int i = 0; i < 1; ++i) cm.add(1, 0);
+  for (int i = 0; i < 9; ++i) cm.add(1, 1);
+  return cm;
+}
+
+TEST(ConfusionMatrix, RequiresAtLeastOneClass) {
+  EXPECT_THROW(ConfusionMatrix{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AddValidatesLabels) {
+  ConfusionMatrix cm{{"a", "b"}};
+  EXPECT_THROW(cm.add(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, -1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, CountsAndSupport) {
+  const auto cm = make_example();
+  EXPECT_EQ(cm.count(0, 0), 8u);
+  EXPECT_EQ(cm.count(0, 1), 2u);
+  EXPECT_EQ(cm.support(0), 10u);
+  EXPECT_EQ(cm.support(1), 10u);
+  EXPECT_EQ(cm.total(), 20u);
+}
+
+TEST(ConfusionMatrix, Accuracy) {
+  const auto cm = make_example();
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 17.0 / 20.0);
+  const ConfusionMatrix empty{{"a"}};
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, PerClassRates) {
+  const auto cm = make_example();
+  EXPECT_DOUBLE_EQ(cm.tp_rate(0), 0.8);
+  EXPECT_DOUBLE_EQ(cm.tp_rate(1), 0.9);
+  EXPECT_DOUBLE_EQ(cm.recall(0), cm.tp_rate(0));
+  // FP rate of class a: 1 "b" predicted as "a" over 10 negatives.
+  EXPECT_DOUBLE_EQ(cm.fp_rate(0), 0.1);
+  EXPECT_DOUBLE_EQ(cm.fp_rate(1), 0.2);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 9.0 / 11.0);
+}
+
+TEST(ConfusionMatrix, WeightedAverages) {
+  const auto cm = make_example();
+  // Equal supports: weighted = plain mean.
+  EXPECT_DOUBLE_EQ(cm.weighted_tp_rate(), 0.85);
+  EXPECT_DOUBLE_EQ(cm.weighted_fp_rate(), 0.15);
+  EXPECT_NEAR(cm.weighted_precision(), 0.5 * (8.0 / 9.0 + 9.0 / 11.0), 1e-12);
+}
+
+TEST(ConfusionMatrix, RowFractions) {
+  const auto cm = make_example();
+  EXPECT_DOUBLE_EQ(cm.row_fraction(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(cm.row_fraction(0, 1), 0.2);
+  ConfusionMatrix empty{{"a", "b"}};
+  EXPECT_DOUBLE_EQ(empty.row_fraction(0, 0), 0.0);
+}
+
+TEST(ConfusionMatrix, NeverPredictedClassHasZeroPrecision) {
+  ConfusionMatrix cm{{"a", "b"}};
+  cm.add(0, 0);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.tp_rate(1), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAccumulates) {
+  auto a = make_example();
+  const auto b = make_example();
+  a.merge(b);
+  EXPECT_EQ(a.total(), 40u);
+  EXPECT_DOUBLE_EQ(a.accuracy(), 17.0 / 20.0);
+}
+
+TEST(ConfusionMatrix, MergeRejectsDifferentClasses) {
+  ConfusionMatrix a{{"a", "b"}};
+  ConfusionMatrix b{{"x", "y"}};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, TablesMentionEveryClass) {
+  const auto cm = make_example();
+  const auto metrics = cm.metrics_table();
+  const auto confusion = cm.confusion_table();
+  for (const char* name : {"a", "b"}) {
+    EXPECT_NE(metrics.find(name), std::string::npos);
+    EXPECT_NE(confusion.find(name), std::string::npos);
+  }
+  EXPECT_NE(metrics.find("weighted avg."), std::string::npos);
+  EXPECT_NE(confusion.find("%"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, SingleClassDegenerate) {
+  ConfusionMatrix cm{{"only"}};
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.fp_rate(0), 0.0);  // no negatives exist
+}
+
+}  // namespace
+}  // namespace vqoe::ml

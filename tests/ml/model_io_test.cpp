@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "vqoe/ml/random_forest.h"
+
+namespace vqoe::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed) {
+  Dataset d{{"f0", "f1", "f2"}, {"a", "b", "c"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({n(rng), n(rng), n(rng)}, 0);
+    d.add({n(rng) + 4, n(rng), n(rng)}, 1);
+    d.add({n(rng), n(rng) + 4, n(rng)}, 2);
+  }
+  return d;
+}
+
+TEST(ForestSerialization, RoundTripPredictionsIdentical) {
+  const auto data = blobs(80, 1);
+  ForestParams params;
+  params.num_trees = 15;
+  params.compute_oob = true;
+  const auto forest = RandomForest::fit(data, params);
+
+  std::stringstream stream;
+  forest.save(stream);
+  const auto loaded = RandomForest::load(stream);
+
+  EXPECT_EQ(loaded.num_trees(), forest.num_trees());
+  EXPECT_EQ(loaded.num_classes(), forest.num_classes());
+  EXPECT_EQ(loaded.feature_names(), forest.feature_names());
+  ASSERT_TRUE(loaded.oob_accuracy().has_value());
+  EXPECT_DOUBLE_EQ(*loaded.oob_accuracy(), *forest.oob_accuracy());
+
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(loaded.predict(data.row(i)), forest.predict(data.row(i)));
+    const auto pa = forest.predict_proba(data.row(i));
+    const auto pb = loaded.predict_proba(data.row(i));
+    for (std::size_t c = 0; c < pa.size(); ++c) EXPECT_NEAR(pa[c], pb[c], 1e-12);
+  }
+}
+
+TEST(ForestSerialization, ImportancePreserved) {
+  const auto data = blobs(60, 2);
+  const auto forest = RandomForest::fit(data, {});
+  std::stringstream stream;
+  forest.save(stream);
+  const auto loaded = RandomForest::load(stream);
+  const auto ia = forest.feature_importance();
+  const auto ib = loaded.feature_importance();
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) EXPECT_NEAR(ia[i], ib[i], 1e-12);
+}
+
+TEST(ForestSerialization, NoOobStaysAbsent) {
+  const auto forest = RandomForest::fit(blobs(20, 3), {});
+  std::stringstream stream;
+  forest.save(stream);
+  const auto loaded = RandomForest::load(stream);
+  EXPECT_FALSE(loaded.oob_accuracy().has_value());
+}
+
+TEST(ForestSerialization, BadHeaderThrows) {
+  std::stringstream stream{"not-a-forest v1\n"};
+  EXPECT_THROW(RandomForest::load(stream), std::runtime_error);
+}
+
+TEST(ForestSerialization, TruncatedInputThrows) {
+  const auto forest = RandomForest::fit(blobs(20, 4), {});
+  std::stringstream stream;
+  forest.save(stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated{text};
+  EXPECT_THROW(RandomForest::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vqoe::ml

@@ -1,0 +1,77 @@
+#include "vqoe/ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed, double separation = 4.0) {
+  Dataset d{{"f0", "f1"}, {"a", "b"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({n(rng), n(rng)}, 0);
+    d.add({n(rng) + separation, n(rng) - separation}, 1);
+  }
+  return d;
+}
+
+TEST(GaussianNaiveBayes, RejectsEmpty) {
+  const Dataset empty{{"f"}, {"x"}};
+  EXPECT_THROW(GaussianNaiveBayes::fit(empty), std::invalid_argument);
+}
+
+TEST(GaussianNaiveBayes, LearnsSeparableData) {
+  const auto model = GaussianNaiveBayes::fit(blobs(200, 1));
+  const auto test = blobs(100, 2);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    if (model.predict(test.row(i)) == test.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.rows()),
+            0.97);
+}
+
+TEST(GaussianNaiveBayes, PriorsMatterOnUninformativeFeatures) {
+  // All features constant: prediction must follow the class prior.
+  Dataset d{{"f"}, {"common", "rare"}};
+  for (int i = 0; i < 90; ++i) d.add({1.0}, 0);
+  for (int i = 0; i < 10; ++i) d.add({1.0}, 1);
+  const auto model = GaussianNaiveBayes::fit(d);
+  const std::vector<double> x{1.0};
+  EXPECT_EQ(model.predict(x), 0);
+}
+
+TEST(GaussianNaiveBayes, LogPosteriorFiniteOnOutliers) {
+  const auto model = GaussianNaiveBayes::fit(blobs(50, 3));
+  const std::vector<double> far{1e6, -1e6};
+  const auto posterior = model.log_posterior(far);
+  for (double lp : posterior) EXPECT_TRUE(std::isfinite(lp));
+}
+
+TEST(GaussianNaiveBayes, WidthMismatchThrows) {
+  const auto model = GaussianNaiveBayes::fit(blobs(20, 4));
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW((void)model.predict(wrong), std::invalid_argument);
+}
+
+TEST(GaussianNaiveBayes, UntrainedThrows) {
+  const GaussianNaiveBayes model;
+  const std::vector<double> x{1.0};
+  EXPECT_THROW((void)model.predict(x), std::logic_error);
+}
+
+TEST(GaussianNaiveBayes, HandlesMissingClassGracefully) {
+  Dataset d{{"f"}, {"a", "b", "never"}};
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i % 2) * 10}, i % 2);
+  const auto model = GaussianNaiveBayes::fit(d);
+  const std::vector<double> x{0.0};
+  EXPECT_EQ(model.predict(x), 0);
+  const std::vector<double> y{10.0};
+  EXPECT_EQ(model.predict(y), 1);
+}
+
+}  // namespace
+}  // namespace vqoe::ml

@@ -1,0 +1,140 @@
+#include "vqoe/ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::ml {
+namespace {
+
+// Two well-separated Gaussian blobs in 2D.
+Dataset blobs(std::size_t per_class, std::uint64_t seed, double separation = 6.0) {
+  Dataset d{{"f0", "f1"}, {"neg", "pos"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({noise(rng), noise(rng)}, 0);
+    d.add({noise(rng) + separation, noise(rng) + separation}, 1);
+  }
+  return d;
+}
+
+std::vector<std::size_t> all_rows(const Dataset& d) {
+  std::vector<std::size_t> idx(d.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(DecisionTree, FitsSeparableData) {
+  const Dataset d = blobs(100, 1);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{2};
+  const auto tree =
+      DecisionTree::fit(d, binned, all_rows(d), TreeParams{}, rng, 2);
+  ASSERT_TRUE(tree.trained());
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    if (tree.predict(d.row(i)) == d.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(d.rows()), 0.99);
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  const Dataset d = blobs(60, 3);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{4};
+  const auto tree =
+      DecisionTree::fit(d, binned, all_rows(d), TreeParams{}, rng, 2);
+  for (std::size_t i = 0; i < d.rows(); i += 7) {
+    const auto proba = tree.predict_proba(d.row(i));
+    double sum = 0.0;
+    for (double p : proba) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const Dataset d = blobs(200, 5, /*separation=*/1.0);  // overlapping: deep tree
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{6};
+  TreeParams params;
+  params.max_depth = 3;
+  const auto tree = DecisionTree::fit(d, binned, all_rows(d), params, rng, 2);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, StumpWhenDepthZero) {
+  const Dataset d = blobs(50, 7);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{8};
+  TreeParams params;
+  params.max_depth = 0;
+  const auto tree = DecisionTree::fit(d, binned, all_rows(d), params, rng, 2);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf) {
+  Dataset d{{"f"}, {"x", "y"}};
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 0);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{9};
+  const auto tree =
+      DecisionTree::fit(d, binned, all_rows(d), TreeParams{}, rng, 2);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(d.row(0)), 0);
+}
+
+TEST(DecisionTree, EmptyTrainingSampleThrows) {
+  const Dataset d = blobs(10, 10);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{11};
+  const std::vector<std::size_t> none;
+  EXPECT_THROW(DecisionTree::fit(d, binned, none, TreeParams{}, rng, 2),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, BootstrapIndicesWithDuplicates) {
+  const Dataset d = blobs(50, 12);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{13};
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < d.rows(); ++i) idx.push_back(i % 10);
+  const auto tree = DecisionTree::fit(d, binned, idx, TreeParams{}, rng, 2);
+  EXPECT_TRUE(tree.trained());
+}
+
+TEST(DecisionTree, ImportanceConcentratesOnInformativeFeature) {
+  // f0 carries the label, f1 is pure noise.
+  Dataset d{{"informative", "noise"}, {"x", "y"}};
+  std::mt19937_64 data_rng{14};
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (int i = 0; i < 400; ++i) {
+    const int label = i % 2;
+    d.add({label * 10.0 + noise(data_rng), noise(data_rng)}, label);
+  }
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{15};
+  const auto tree =
+      DecisionTree::fit(d, binned, all_rows(d), TreeParams{}, rng, 2);
+  const auto& imp = tree.impurity_importance();
+  EXPECT_GT(imp[0], 10.0 * std::max(imp[1], 1e-12));
+}
+
+TEST(DecisionTree, MinSamplesLeafLimitsLeafSize) {
+  const Dataset d = blobs(100, 16, /*separation=*/0.5);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{17};
+  TreeParams params;
+  params.min_samples_leaf = 40;
+  const auto tree = DecisionTree::fit(d, binned, all_rows(d), params, rng, 2);
+  // 200 rows, leaves of >= 40: at most 5 leaves.
+  EXPECT_LE(tree.leaf_count(), 5u);
+}
+
+}  // namespace
+}  // namespace vqoe::ml

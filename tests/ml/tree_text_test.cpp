@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "vqoe/ml/decision_tree.h"
+
+namespace vqoe::ml {
+namespace {
+
+DecisionTree stump() {
+  Dataset d{{"size", "rtt"}, {"healthy", "stalled"}};
+  for (int i = 0; i < 40; ++i) {
+    d.add({static_cast<double>(i), 50.0}, i < 20 ? 0 : 1);
+  }
+  const auto binned = BinnedMatrix::build(d);
+  std::vector<std::size_t> rows(d.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::mt19937_64 rng{1};
+  TreeParams params;
+  params.max_depth = 1;
+  return DecisionTree::fit(d, binned, rows, params, rng, 2);
+}
+
+TEST(TreeText, NamesUsedWhenProvided) {
+  const auto tree = stump();
+  const std::vector<std::string> features{"size", "rtt"};
+  const std::vector<std::string> classes{"healthy", "stalled"};
+  const auto text = tree.to_text(features, classes);
+  EXPECT_NE(text.find("size <= "), std::string::npos);
+  EXPECT_NE(text.find("healthy="), std::string::npos);
+  EXPECT_NE(text.find("stalled="), std::string::npos);
+  EXPECT_EQ(text.find("f0"), std::string::npos);
+}
+
+TEST(TreeText, IndicesWhenNamesAbsent) {
+  const auto tree = stump();
+  const auto text = tree.to_text();
+  EXPECT_NE(text.find("f0 <= "), std::string::npos);
+  EXPECT_NE(text.find("leaf:"), std::string::npos);
+}
+
+TEST(TreeText, LeafCountMatchesStructure) {
+  const auto tree = stump();
+  const auto text = tree.to_text();
+  std::size_t leaves = 0;
+  for (std::size_t pos = text.find("leaf:"); pos != std::string::npos;
+       pos = text.find("leaf:", pos + 1)) {
+    ++leaves;
+  }
+  EXPECT_EQ(leaves, tree.leaf_count());
+}
+
+TEST(TreeText, EmptyTreeEmptyText) {
+  const DecisionTree tree;
+  EXPECT_TRUE(tree.to_text().empty());
+}
+
+}  // namespace
+}  // namespace vqoe::ml

@@ -1,0 +1,97 @@
+#include "vqoe/net/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::net {
+namespace {
+
+TEST(CellLoadChannel, ValidatesInputs) {
+  EXPECT_THROW(CellLoadChannel({}, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(CellLoadChannel({}, 1.5, 1), std::invalid_argument);
+  CellConfig bad;
+  bad.capacity_bps = 0.0;
+  EXPECT_THROW(CellLoadChannel(bad, 1.0, 1), std::invalid_argument);
+}
+
+TEST(CellLoadChannel, OfferedLoad) {
+  CellConfig config;
+  config.mean_arrivals_per_s = 0.1;
+  config.mean_holding_s = 100.0;
+  EXPECT_DOUBLE_EQ(offered_load_erlangs(config), 10.0);
+}
+
+TEST(CellLoadChannel, StatesPhysical) {
+  CellLoadChannel ch{{}, 0.8, 3};
+  for (double t = 0; t < 600; t += 2.5) {
+    const auto s = ch.at(t);
+    EXPECT_GT(s.bandwidth_bps, 0.0);
+    EXPECT_GT(s.rtt_ms, 0.0);
+    EXPECT_GE(s.loss_rate, 0.0);
+    EXPECT_LE(s.loss_rate, 0.5);
+    EXPECT_GE(ch.active_users(), 0);
+  }
+}
+
+TEST(CellLoadChannel, DeterministicForSeed) {
+  CellLoadChannel a{{}, 0.9, 7};
+  CellLoadChannel b{{}, 0.9, 7};
+  for (double t = 0; t < 100; t += 3.3) {
+    EXPECT_DOUBLE_EQ(a.at(t).bandwidth_bps, b.at(t).bandwidth_bps);
+  }
+}
+
+TEST(CellLoadChannel, PopulationHoversAroundOfferedLoad) {
+  CellConfig config;
+  config.mean_arrivals_per_s = 0.2;
+  config.mean_holding_s = 50.0;  // 10 Erlangs
+  double total = 0.0;
+  int count = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    CellLoadChannel ch{config, 1.0, seed};
+    for (double t = 0; t < 500; t += 25) {
+      ch.at(t);
+      total += ch.active_users();
+      ++count;
+    }
+  }
+  EXPECT_NEAR(total / count, offered_load_erlangs(config),
+              0.25 * offered_load_erlangs(config));
+}
+
+TEST(CellLoadChannel, HigherLoadMeansLessBandwidthMoreRtt) {
+  CellConfig light, heavy;
+  light.mean_arrivals_per_s = 0.01;  // 1.2 Erlangs
+  heavy.mean_arrivals_per_s = 0.3;   // 36 Erlangs
+  double light_bw = 0.0, heavy_bw = 0.0, light_rtt = 0.0, heavy_rtt = 0.0;
+  int n = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CellLoadChannel a{light, 1.0, seed};
+    CellLoadChannel b{heavy, 1.0, seed};
+    for (double t = 0; t < 300; t += 15) {
+      light_bw += a.at(t).bandwidth_bps;
+      heavy_bw += b.at(t).bandwidth_bps;
+      light_rtt += a.at(t).rtt_ms;
+      heavy_rtt += b.at(t).rtt_ms;
+      ++n;
+    }
+  }
+  EXPECT_GT(light_bw / n, 3.0 * heavy_bw / n);
+  EXPECT_LT(light_rtt / n, heavy_rtt / n);
+}
+
+TEST(CellLoadChannel, RadioQualityScalesShare) {
+  CellConfig config;
+  config.mean_arrivals_per_s = 0.0;
+  config.mean_holding_s = 0.0;  // frozen population
+  double good = 0.0, edge = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CellLoadChannel a{config, 1.0, seed};
+    CellLoadChannel b{config, 0.3, seed};
+    good += a.at(10.0).bandwidth_bps;
+    edge += b.at(10.0).bandwidth_bps;
+  }
+  EXPECT_GT(good, 2.0 * edge);
+}
+
+}  // namespace
+}  // namespace vqoe::net

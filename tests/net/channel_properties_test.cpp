@@ -1,0 +1,90 @@
+// Property sweeps over every channel profile: physical-state invariants,
+// seed determinism and long-run mean tracking must hold for each regime,
+// not just the ones the other tests happen to use.
+#include <gtest/gtest.h>
+
+#include "vqoe/net/channel.h"
+#include "vqoe/net/tcp.h"
+
+namespace vqoe::net {
+namespace {
+
+std::vector<NetworkProfile> all_profiles() {
+  return {profile_static_good(), profile_cell_fair(), profile_cell_congested(),
+          profile_cell_poor(), profile_cell_outage()};
+}
+
+class ChannelProfileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelProfileSweep, StatesPhysicalEverywhere) {
+  const auto profile = all_profiles()[static_cast<std::size_t>(GetParam())];
+  GaussMarkovChannel ch{profile, 101};
+  for (double t = 0; t < 400; t += 1.9) {
+    const ChannelState s = ch.at(t);
+    EXPECT_GT(s.bandwidth_bps, 0.0) << profile.name;
+    EXPECT_GE(s.rtt_ms, 5.0) << profile.name;
+    EXPECT_GE(s.loss_rate, 0.0) << profile.name;
+    EXPECT_LE(s.loss_rate, 0.5) << profile.name;
+  }
+}
+
+TEST_P(ChannelProfileSweep, LongRunMeanTracksProfile) {
+  const auto profile = all_profiles()[static_cast<std::size_t>(GetParam())];
+  double total = 0.0;
+  int count = 0;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    GaussMarkovChannel ch{profile, seed};
+    for (double t = 0; t < 90; t += 15) {
+      total += ch.at(t).bandwidth_bps;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(total / count, profile.mean_bandwidth_bps,
+              0.2 * profile.mean_bandwidth_bps)
+      << profile.name;
+}
+
+TEST_P(ChannelProfileSweep, TimeOrderIndependentOfQuerySpacing) {
+  // Same seed, different query cadence: the state is stochastic but must
+  // stay within the same regime (no pathological drift from tiny steps).
+  const auto profile = all_profiles()[static_cast<std::size_t>(GetParam())];
+  GaussMarkovChannel fine{profile, 77};
+  GaussMarkovChannel coarse{profile, 77};
+  double fine_mean = 0.0;
+  int fine_n = 0;
+  for (double t = 0; t < 100; t += 0.5) {
+    fine_mean += fine.at(t).bandwidth_bps;
+    ++fine_n;
+  }
+  double coarse_mean = 0.0;
+  int coarse_n = 0;
+  for (double t = 0; t < 100; t += 10) {
+    coarse_mean += coarse.at(t).bandwidth_bps;
+    ++coarse_n;
+  }
+  fine_mean /= fine_n;
+  coarse_mean /= coarse_n;
+  EXPECT_GT(fine_mean, 0.2 * coarse_mean) << profile.name;
+  EXPECT_LT(fine_mean, 5.0 * coarse_mean) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ChannelProfileSweep, ::testing::Range(0, 5));
+
+class TcpBandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpBandwidthSweep, GoodputNeverExceedsLink) {
+  const double bw = GetParam();
+  TcpModel tcp{42};
+  const ChannelState state{.bandwidth_bps = bw, .rtt_ms = 60.0,
+                           .loss_rate = 1e-4};
+  const auto r = tcp.download(4'000'000, state);
+  EXPECT_LE(r.goodput_bps, bw * 1.05) << bw;
+  EXPECT_GT(r.goodput_bps, 0.0);
+  EXPECT_NEAR(r.stats.bdp_bytes, bw * 0.060 / 8.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, TcpBandwidthSweep,
+                         ::testing::Values(2e5, 1e6, 4e6, 1.2e7, 5e7));
+
+}  // namespace
+}  // namespace vqoe::net

@@ -1,0 +1,91 @@
+#include "vqoe/net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vqoe::net {
+namespace {
+
+TEST(GaussMarkovChannel, ValidatesCorrelation) {
+  EXPECT_THROW(GaussMarkovChannel(profile_cell_fair(), 1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(GaussMarkovChannel, StatesArePhysical) {
+  GaussMarkovChannel ch{profile_cell_fair(), 42};
+  for (double t = 0; t < 300; t += 1.7) {
+    const ChannelState s = ch.at(t);
+    EXPECT_GT(s.bandwidth_bps, 0.0);
+    EXPECT_GT(s.rtt_ms, 0.0);
+    EXPECT_GE(s.loss_rate, 0.0);
+    EXPECT_LE(s.loss_rate, 0.5);
+  }
+}
+
+TEST(GaussMarkovChannel, DeterministicForSeed) {
+  GaussMarkovChannel a{profile_cell_fair(), 7};
+  GaussMarkovChannel b{profile_cell_fair(), 7};
+  for (double t = 0; t < 50; t += 2.1) {
+    EXPECT_DOUBLE_EQ(a.at(t).bandwidth_bps, b.at(t).bandwidth_bps);
+  }
+}
+
+TEST(GaussMarkovChannel, DifferentSeedsDiffer) {
+  GaussMarkovChannel a{profile_cell_fair(), 1};
+  GaussMarkovChannel b{profile_cell_fair(), 2};
+  EXPECT_NE(a.at(10.0).bandwidth_bps, b.at(10.0).bandwidth_bps);
+}
+
+TEST(GaussMarkovChannel, MeanBandwidthNearProfile) {
+  const auto profile = profile_cell_fair();
+  double total = 0.0;
+  int count = 0;
+  // Average across many independent channels to beat the AR correlation.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    GaussMarkovChannel ch{profile, seed};
+    for (double t = 0; t < 60; t += 10) {
+      total += ch.at(t).bandwidth_bps;
+      ++count;
+    }
+  }
+  const double mean = total / count;
+  EXPECT_NEAR(mean, profile.mean_bandwidth_bps, 0.15 * profile.mean_bandwidth_bps);
+}
+
+TEST(GaussMarkovChannel, RegimeNameMatchesProfile) {
+  GaussMarkovChannel ch{profile_cell_poor(), 3};
+  EXPECT_EQ(ch.regime(), "cell_poor");
+}
+
+TEST(MobilityChannel, RequiresStates) {
+  EXPECT_THROW(MobilityChannel({}, 1), std::invalid_argument);
+}
+
+TEST(MobilityChannel, VisitsMultipleRegimes) {
+  MobilityChannel ch{commute_states(), 11};
+  std::set<std::string> regimes;
+  for (double t = 0; t < 1200; t += 5) {
+    ch.at(t);
+    regimes.insert(ch.regime());
+  }
+  EXPECT_GE(regimes.size(), 2u);
+}
+
+TEST(MobilityChannel, SingleStateNeverTransitions) {
+  MobilityChannel ch{{profile_cell_fair()}, 5};
+  for (double t = 0; t < 500; t += 10) {
+    ch.at(t);
+    EXPECT_EQ(ch.regime(), "cell_fair");
+  }
+}
+
+TEST(Factories, ProduceWorkingChannels) {
+  auto a = make_channel(profile_static_good(), 1);
+  auto b = make_commute_channel(2);
+  EXPECT_GT(a->at(0.0).bandwidth_bps, 0.0);
+  EXPECT_GT(b->at(0.0).bandwidth_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace vqoe::net

@@ -1,0 +1,48 @@
+#include "vqoe/net/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::net {
+namespace {
+
+TEST(Profiles, BandwidthOrderingMatchesSeverity) {
+  EXPECT_GT(profile_static_good().mean_bandwidth_bps,
+            profile_cell_fair().mean_bandwidth_bps);
+  EXPECT_GT(profile_cell_fair().mean_bandwidth_bps,
+            profile_cell_congested().mean_bandwidth_bps);
+  EXPECT_GT(profile_cell_congested().mean_bandwidth_bps,
+            profile_cell_poor().mean_bandwidth_bps);
+  EXPECT_GT(profile_cell_poor().mean_bandwidth_bps,
+            profile_cell_outage().mean_bandwidth_bps);
+}
+
+TEST(Profiles, WorseRegimesHaveHigherRttAndLoss) {
+  EXPECT_LT(profile_static_good().base_rtt_ms, profile_cell_poor().base_rtt_ms);
+  EXPECT_LT(profile_static_good().loss_rate, profile_cell_poor().loss_rate);
+  EXPECT_LT(profile_cell_fair().loss_rate, profile_cell_congested().loss_rate);
+}
+
+TEST(Profiles, AllFieldsPositive) {
+  for (const auto& p :
+       {profile_static_good(), profile_cell_fair(), profile_cell_congested(),
+        profile_cell_poor(), profile_cell_outage()}) {
+    EXPECT_GT(p.mean_bandwidth_bps, 0.0) << p.name;
+    EXPECT_GT(p.base_rtt_ms, 0.0) << p.name;
+    EXPECT_GE(p.loss_rate, 0.0) << p.name;
+    EXPECT_LT(p.loss_rate, 1.0) << p.name;
+    EXPECT_GT(p.mean_dwell_s, 0.0) << p.name;
+    EXPECT_FALSE(p.name.empty());
+  }
+}
+
+TEST(Profiles, CommuteStatesAreMobileRegimes) {
+  const auto states = commute_states();
+  ASSERT_GE(states.size(), 2u);
+  for (const auto& s : states) {
+    // A commuter dwells well under the static profile's dwell time.
+    EXPECT_LT(s.mean_dwell_s, profile_static_good().mean_dwell_s);
+  }
+}
+
+}  // namespace
+}  // namespace vqoe::net

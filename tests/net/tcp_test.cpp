@@ -1,0 +1,129 @@
+#include "vqoe/net/tcp.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::net {
+namespace {
+
+ChannelState state(double bw_bps = 4e6, double rtt_ms = 60.0,
+                   double loss = 0.002) {
+  return {.bandwidth_bps = bw_bps, .rtt_ms = rtt_ms, .loss_rate = loss};
+}
+
+TEST(TcpModel, RejectsEmptyObject) {
+  TcpModel tcp{1};
+  EXPECT_THROW(tcp.download(0, state()), std::invalid_argument);
+}
+
+TEST(TcpModel, DurationAtLeastOneRtt) {
+  TcpModel tcp{2};
+  const auto r = tcp.download(1000, state());
+  EXPECT_GE(r.duration_s, 0.060);
+}
+
+TEST(TcpModel, LargerObjectsTakeLonger) {
+  TcpModel a{3}, b{3};
+  const auto small = a.download(50'000, state());
+  const auto large = b.download(5'000'000, state());
+  EXPECT_GT(large.duration_s, small.duration_s);
+}
+
+TEST(TcpModel, FasterLinksDownloadFaster) {
+  TcpModel a{4}, b{4};
+  const auto slow = a.download(2'000'000, state(0.5e6));
+  const auto fast = b.download(2'000'000, state(20e6));
+  EXPECT_LT(fast.duration_s, slow.duration_s);
+}
+
+TEST(TcpModel, GoodputBoundedByLinkRate) {
+  TcpModel tcp{5};
+  const auto r = tcp.download(10'000'000, state(5e6, 40.0, 1e-5));
+  EXPECT_LE(r.goodput_bps, 5e6 * 1.05);
+  EXPECT_GT(r.goodput_bps, 0.0);
+}
+
+TEST(TcpModel, HeavyLossThrottlesThroughput) {
+  // Average over several transfers: the loss draw is stochastic.
+  double clean_total = 0.0, lossy_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    TcpModel clean{seed}, lossy{seed + 1000};
+    clean_total += clean.download(4'000'000, state(20e6, 100.0, 1e-5)).goodput_bps;
+    lossy_total += lossy.download(4'000'000, state(20e6, 100.0, 0.05)).goodput_bps;
+  }
+  EXPECT_LT(lossy_total, clean_total * 0.6);
+}
+
+TEST(TcpModel, TransportStatsWellFormed) {
+  TcpModel tcp{6};
+  for (int i = 0; i < 50; ++i) {
+    const auto r = tcp.download(300'000 + i * 10'000, state());
+    const TransportStats& s = r.stats;
+    EXPECT_LE(s.rtt_min_ms, s.rtt_avg_ms);
+    EXPECT_LE(s.rtt_avg_ms, s.rtt_max_ms);
+    EXPECT_GT(s.bdp_bytes, 0.0);
+    EXPECT_GE(s.bif_avg_bytes, 0.0);
+    EXPECT_LE(s.bif_avg_bytes, s.bif_max_bytes + 1e-9);
+    EXPECT_GE(s.loss_pct, 0.0);
+    EXPECT_LE(s.loss_pct, 100.0);
+    EXPECT_GE(s.retrans_pct, s.loss_pct);
+    EXPECT_LE(s.retrans_pct, 100.0);
+  }
+}
+
+TEST(TcpModel, BdpMatchesDefinition) {
+  TcpModel tcp{7};
+  const auto r = tcp.download(100'000, state(8e6, 50.0));
+  EXPECT_NEAR(r.stats.bdp_bytes, 8e6 * 0.050 / 8.0, 1e-6);
+}
+
+TEST(TcpModel, WindowGrowsAcrossDownloadsOnPersistentConnection) {
+  TcpModel tcp{8};
+  const double initial = tcp.cwnd_bytes();
+  tcp.download(2'000'000, state(10e6, 80.0, 1e-5));
+  EXPECT_GT(tcp.cwnd_bytes(), initial);
+}
+
+TEST(TcpModel, IdleResetsWindowAfterThreshold) {
+  TcpModel tcp{9};
+  tcp.download(2'000'000, state(10e6, 80.0, 1e-5));
+  const double grown = tcp.cwnd_bytes();
+  ASSERT_GT(grown, TcpModel::kInitialWindowBytes);
+  tcp.idle(0.2);  // short gap: window kept
+  EXPECT_DOUBLE_EQ(tcp.cwnd_bytes(), grown);
+  tcp.idle(TcpModel::kIdleResetS + 0.1);
+  EXPECT_DOUBLE_EQ(tcp.cwnd_bytes(), TcpModel::kInitialWindowBytes);
+}
+
+TEST(TcpModel, ResetRestoresInitialWindow) {
+  TcpModel tcp{10};
+  tcp.download(2'000'000, state());
+  tcp.reset();
+  EXPECT_DOUBLE_EQ(tcp.cwnd_bytes(), TcpModel::kInitialWindowBytes);
+}
+
+TEST(TcpModel, ColdWindowSlowsSmallDownloads) {
+  // The same small chunk downloads faster on a warmed-up connection — the
+  // mechanism behind slow recovery chunks after a stall (Section 4.1).
+  double cold_total = 0.0, warm_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    TcpModel cold{seed}, warm{seed};
+    warm.download(3'000'000, state(10e6, 80.0, 1e-4));  // warm-up transfer
+    cold_total += cold.download(200'000, state(10e6, 80.0, 1e-4)).duration_s;
+    warm_total += warm.download(200'000, state(10e6, 80.0, 1e-4)).duration_s;
+  }
+  EXPECT_LT(warm_total, cold_total);
+}
+
+TEST(TcpModel, HighRttHurtsSmallTransfersMost) {
+  TcpModel a{11}, b{11}, c{12}, d{12};
+  const double small_low = a.download(50'000, state(10e6, 20.0)).duration_s;
+  const double small_high = b.download(50'000, state(10e6, 300.0)).duration_s;
+  const double big_low = c.download(20'000'000, state(10e6, 20.0, 1e-5)).duration_s;
+  const double big_high = d.download(20'000'000, state(10e6, 300.0, 1e-5)).duration_s;
+  const double small_ratio = small_high / small_low;
+  const double big_ratio = big_high / big_low;
+  EXPECT_GT(small_ratio, big_ratio);
+}
+
+}  // namespace
+}  // namespace vqoe::net

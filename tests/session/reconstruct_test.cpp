@@ -1,0 +1,164 @@
+#include "vqoe/session/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::session {
+namespace {
+
+TEST(HostClassification, KnownHosts) {
+  EXPECT_TRUE(is_video_cdn_host("r3---sn-h5q7dne7.googlevideo.com"));
+  EXPECT_FALSE(is_video_cdn_host("m.youtube.com"));
+  EXPECT_TRUE(is_page_marker_host("m.youtube.com"));
+  EXPECT_TRUE(is_page_marker_host("i.ytimg.com"));
+  EXPECT_FALSE(is_page_marker_host("r3---sn-h5q7dne7.googlevideo.com"));
+  EXPECT_TRUE(is_youtube_host("www.youtube.com"));
+  EXPECT_FALSE(is_youtube_host("example.com"));
+  EXPECT_FALSE(is_youtube_host("notyoutube.org"));
+}
+
+workload::Corpus encrypted_corpus(std::size_t sessions, std::uint64_t seed) {
+  auto options = workload::encrypted_corpus_options(sessions, seed);
+  options.keep_session_results = false;
+  auto corpus = workload::generate_corpus(options);
+  corpus.weblogs = trace::encrypt_view(std::move(corpus.weblogs));
+  return corpus;
+}
+
+TEST(Reconstruct, RecoversSessionCount) {
+  const auto corpus = encrypted_corpus(40, 1);
+  const auto sessions = reconstruct(corpus.weblogs);
+  // Some under/over-segmentation is acceptable; gross mismatches are not.
+  EXPECT_GE(sessions.size(), 36u);
+  EXPECT_LE(sessions.size(), 46u);
+}
+
+TEST(Reconstruct, SessionsOrderedAndWellFormed) {
+  const auto corpus = encrypted_corpus(25, 2);
+  const auto sessions = reconstruct(corpus.weblogs);
+  for (const auto& s : sessions) {
+    EXPECT_FALSE(s.media.empty());
+    EXPECT_LE(s.start_time_s, s.end_time_s);
+    double prev = 0.0;
+    for (const auto& r : s.media) {
+      EXPECT_TRUE(is_video_cdn_host(r.host));
+      EXPECT_GE(r.timestamp_s, prev);
+      prev = r.timestamp_s;
+    }
+  }
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    if (sessions[i].subscriber_id == sessions[i - 1].subscriber_id) {
+      EXPECT_GE(sessions[i].start_time_s, sessions[i - 1].start_time_s);
+    }
+  }
+}
+
+TEST(Reconstruct, IgnoresNonYouTubeTraffic) {
+  auto corpus = encrypted_corpus(10, 3);
+  // Inject cross traffic from the same subscriber.
+  trace::WeblogRecord alien;
+  alien.subscriber_id = corpus.truths.front().subscriber_id;
+  alien.host = "cdn.example.net";
+  alien.timestamp_s = corpus.weblogs.front().timestamp_s + 1.0;
+  alien.object_size_bytes = 5'000'000;
+  corpus.weblogs.push_back(alien);
+
+  const auto sessions = reconstruct(corpus.weblogs);
+  for (const auto& s : sessions) {
+    for (const auto& r : s.media) EXPECT_NE(r.host, "cdn.example.net");
+  }
+}
+
+TEST(Reconstruct, SplitsOnIdleGap) {
+  // Two synthetic bursts of media separated by a long gap must become two
+  // sessions even without page markers.
+  std::vector<trace::WeblogRecord> records;
+  auto add_media = [&](double t) {
+    trace::WeblogRecord r;
+    r.subscriber_id = "s";
+    r.host = "r1---sn-abc.googlevideo.com";
+    r.timestamp_s = t;
+    r.transaction_time_s = 1.0;
+    r.object_size_bytes = 400'000;
+    r.encrypted = true;
+    records.push_back(r);
+  };
+  for (double t = 0; t < 50; t += 5) add_media(t);
+  for (double t = 300; t < 350; t += 5) add_media(t);
+
+  ReconstructionOptions options;
+  options.use_page_markers = false;
+  const auto sessions = reconstruct(records, options);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].media.size(), 10u);
+  EXPECT_EQ(sessions[1].media.size(), 10u);
+}
+
+TEST(Reconstruct, SplitsOnPageMarkerAfterMedia) {
+  std::vector<trace::WeblogRecord> records;
+  auto add = [&](double t, const std::string& host, std::uint64_t size) {
+    trace::WeblogRecord r;
+    r.subscriber_id = "s";
+    r.host = host;
+    r.timestamp_s = t;
+    r.transaction_time_s = 0.5;
+    r.object_size_bytes = size;
+    r.encrypted = true;
+    records.push_back(r);
+  };
+  add(0.0, "m.youtube.com", 40'000);
+  for (double t = 1; t < 20; t += 4) add(t, "r1---sn-abc.googlevideo.com", 500'000);
+  add(21.0, "m.youtube.com", 40'000);  // user opens the next video
+  for (double t = 22; t < 40; t += 4) add(t, "r1---sn-abc.googlevideo.com", 500'000);
+
+  const auto sessions = reconstruct(records);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].media.size(), 5u);
+  EXPECT_EQ(sessions[1].media.size(), 5u);
+}
+
+TEST(Reconstruct, SeparatesSubscribers) {
+  const auto c1 = encrypted_corpus(5, 4);
+  auto c2 = encrypted_corpus(5, 5);
+  std::vector<trace::WeblogRecord> all = c1.weblogs;
+  for (auto r : c2.weblogs) {
+    r.subscriber_id = "other-subscriber";
+    all.push_back(r);
+  }
+  const auto sessions = reconstruct(all);
+  std::set<std::string> subscribers;
+  for (const auto& s : sessions) subscribers.insert(s.subscriber_id);
+  EXPECT_EQ(subscribers.size(), 2u);
+}
+
+TEST(MatchGroundTruth, MatchesByTimestamp) {
+  const auto corpus = encrypted_corpus(30, 6);
+  const auto sessions = reconstruct(corpus.weblogs);
+  const auto matches = match_ground_truth(sessions, corpus.truths);
+  ASSERT_EQ(matches.size(), sessions.size());
+
+  std::size_t matched = 0;
+  std::set<std::size_t> used;
+  for (const auto& m : matches) {
+    if (!m) continue;
+    ++matched;
+    EXPECT_TRUE(used.insert(*m).second) << "truth matched twice";
+  }
+  EXPECT_GE(matched, corpus.truths.size() * 8 / 10);
+}
+
+TEST(ReconstructionAccuracy, HighOnCleanCorpus) {
+  const auto corpus = encrypted_corpus(50, 7);
+  const auto sessions = reconstruct(corpus.weblogs);
+  const double acc = reconstruction_accuracy(sessions, corpus.truths);
+  // "The vast majority of the sessions" (Section 5.2).
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(ReconstructionAccuracy, EmptyTruthsIsZero) {
+  EXPECT_DOUBLE_EQ(reconstruction_accuracy({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace vqoe::session

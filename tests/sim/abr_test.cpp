@@ -1,0 +1,155 @@
+#include "vqoe/sim/abr.h"
+
+#include <gtest/gtest.h>
+
+namespace vqoe::sim {
+namespace {
+
+VideoDescription nominal_video() {
+  VideoDescription v;
+  v.video_id = "test";
+  for (int r = 0; r < kNumResolutions; ++r) {
+    const auto res = static_cast<Resolution>(r);
+    v.ladder.push_back({res, nominal_bitrate_bps(res)});
+  }
+  return v;
+}
+
+ThroughputEstimator estimator_at(double bps) {
+  ThroughputEstimator e;
+  e.observe(bps);
+  return e;
+}
+
+TEST(ThroughputEstimator, ValidatesInputs) {
+  EXPECT_THROW(ThroughputEstimator{0.0}, std::invalid_argument);
+  EXPECT_THROW(ThroughputEstimator{1.5}, std::invalid_argument);
+  ThroughputEstimator e;
+  EXPECT_THROW(e.observe(0.0), std::invalid_argument);
+}
+
+TEST(ThroughputEstimator, ZeroUntilFirstObservation) {
+  const ThroughputEstimator e;
+  EXPECT_DOUBLE_EQ(e.estimate_bps(), 0.0);
+  EXPECT_EQ(e.observations(), 0u);
+}
+
+TEST(ThroughputEstimator, FirstObservationAdoptedExactly) {
+  auto e = estimator_at(3e6);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(), 3e6);
+}
+
+TEST(ThroughputEstimator, MovesTowardNewObservations) {
+  auto e = estimator_at(1e6);
+  e.observe(4e6);
+  EXPECT_GT(e.estimate_bps(), 1e6);
+  EXPECT_LT(e.estimate_bps(), 4e6);
+}
+
+TEST(ThroughputEstimator, HarmonicWeightingIsConservative) {
+  // One slow chunk pulls a harmonic-domain estimate down harder than one
+  // fast chunk pulls it up.
+  auto down = estimator_at(4e6);
+  down.observe(1e6);
+  auto up = estimator_at(1e6);
+  up.observe(4e6);
+  EXPECT_LT(down.estimate_bps() - 1e6, 4e6 - up.estimate_bps());
+}
+
+TEST(ThroughputEstimator, ReliabilityDampensUpdates) {
+  auto trusted = estimator_at(4e6);
+  trusted.observe(0.5e6, 1.0);
+  auto distrusted = estimator_at(4e6);
+  distrusted.observe(0.5e6, 0.05);
+  EXPECT_LT(trusted.estimate_bps(), distrusted.estimate_bps());
+}
+
+TEST(AbrController, ReturnsInitialWithoutObservations) {
+  AbrConfig config;
+  config.initial = Resolution::p240;
+  const AbrController abr{config};
+  const ThroughputEstimator fresh;
+  EXPECT_EQ(abr.decide(nominal_video(), fresh, 0.0, Resolution::p240, 0, true),
+            Resolution::p240);
+}
+
+TEST(AbrController, CapClampsInitial) {
+  AbrConfig config;
+  config.initial = Resolution::p480;
+  config.max_resolution = Resolution::p240;
+  const AbrController abr{config};
+  const ThroughputEstimator fresh;
+  EXPECT_EQ(abr.decide(nominal_video(), fresh, 0.0, Resolution::p480, 0, true),
+            Resolution::p240);
+}
+
+TEST(AbrController, StartupKeepsRungWhenRoughlySustainable) {
+  const AbrController abr{AbrConfig{}};
+  // 240p at ~250 kbit/s; estimate 400 kbit/s: budget 320k > 250k.
+  const auto e = estimator_at(400e3);
+  EXPECT_EQ(abr.decide(nominal_video(), e, 1.0, Resolution::p240, 1, true),
+            Resolution::p240);
+}
+
+TEST(AbrController, StartupDropsClearlyUnsustainableRung) {
+  const AbrController abr{AbrConfig{}};
+  // 480p (~1.05 Mbit/s) against a 200 kbit/s estimate: hopeless even with
+  // the start-up tolerance.
+  const auto e = estimator_at(200e3);
+  EXPECT_EQ(abr.decide(nominal_video(), e, 1.0, Resolution::p480, 1, true),
+            Resolution::p360);
+}
+
+TEST(AbrController, SteadyUnsustainableStepsDownOneRung) {
+  const AbrController abr{AbrConfig{}};
+  const auto e = estimator_at(600e3);  // budget 480k < 1.05M (480p)
+  EXPECT_EQ(abr.decide(nominal_video(), e, 20.0, Resolution::p480, 10, false),
+            Resolution::p360);
+}
+
+TEST(AbrController, PanicDropsToThroughputPick) {
+  const AbrController abr{AbrConfig{}};
+  const auto e = estimator_at(200e3);  // budget 160k -> only 144p fits
+  EXPECT_EQ(abr.decide(nominal_video(), e, 2.0, Resolution::p720, 10, false),
+            Resolution::p144);
+}
+
+TEST(AbrController, UpSwitchRequiresDwell) {
+  const AbrController abr{AbrConfig{}};
+  const auto e = estimator_at(10e6);
+  // Plenty of throughput but only 2 segments since the last switch.
+  EXPECT_EQ(abr.decide(nominal_video(), e, 20.0, Resolution::p360, 2, false),
+            Resolution::p360);
+  // After the dwell: one rung up, not a jump to the top.
+  EXPECT_EQ(abr.decide(nominal_video(), e, 20.0, Resolution::p360, 10, false),
+            Resolution::p480);
+}
+
+TEST(AbrController, UpSwitchRequiresMargin) {
+  AbrConfig config;
+  config.up_margin = 1.15;
+  const AbrController abr{config};
+  // 480p needs 1.05M x 1.15 / 0.8 ~ 1.51M estimate; 1.4M is not enough.
+  const auto e = estimator_at(1.4e6);
+  EXPECT_EQ(abr.decide(nominal_video(), e, 20.0, Resolution::p360, 10, false),
+            Resolution::p360);
+}
+
+TEST(AbrController, NeverExceedsCap) {
+  AbrConfig config;
+  config.max_resolution = Resolution::p480;
+  const AbrController abr{config};
+  const auto e = estimator_at(50e6);
+  EXPECT_EQ(abr.decide(nominal_video(), e, 25.0, Resolution::p480, 50, false),
+            Resolution::p480);
+}
+
+TEST(AbrController, LowestRungNeverDropsFurther) {
+  const AbrController abr{AbrConfig{}};
+  const auto e = estimator_at(10e3);
+  EXPECT_EQ(abr.decide(nominal_video(), e, 0.5, Resolution::p144, 10, false),
+            Resolution::p144);
+}
+
+}  // namespace
+}  // namespace vqoe::sim

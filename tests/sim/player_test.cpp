@@ -1,0 +1,225 @@
+#include "vqoe/sim/player.h"
+
+#include <gtest/gtest.h>
+
+#include "vqoe/net/channel.h"
+#include "vqoe/net/profile.h"
+
+namespace vqoe::sim {
+namespace {
+
+VideoDescription test_video(double duration_s = 120.0) {
+  VideoDescription v;
+  v.video_id = "test";
+  v.duration_s = duration_s;
+  for (int r = 0; r < kNumResolutions; ++r) {
+    const auto res = static_cast<Resolution>(r);
+    v.ladder.push_back({res, nominal_bitrate_bps(res)});
+  }
+  return v;
+}
+
+void check_invariants(const SessionResult& s, const VideoDescription& v) {
+  // Chunks chronological, arrivals after requests.
+  double prev_request = -1.0;
+  for (const ChunkEvent& c : s.chunks) {
+    EXPECT_GE(c.request_time_s, prev_request);
+    EXPECT_GT(c.arrival_time_s, c.request_time_s);
+    EXPECT_GT(c.size_bytes, 0u);
+    prev_request = c.request_time_s;
+  }
+  // Stalls chronological, non-overlapping, within the session.
+  double prev_end = 0.0;
+  for (const StallEvent& st : s.stalls) {
+    EXPECT_GE(st.start_s, prev_end - 1e-6);
+    EXPECT_GT(st.duration_s, 0.0);
+    EXPECT_LE(st.start_s + st.duration_s, s.total_duration_s + 1e-6);
+    prev_end = st.start_s + st.duration_s;
+  }
+  const double rr = s.rebuffering_ratio();
+  EXPECT_GE(rr, 0.0);
+  EXPECT_LE(rr, 1.0);
+  EXPECT_LE(s.played_media_s, v.duration_s + 1e-6);
+  if (!s.abandoned) {
+    EXPECT_NEAR(s.played_media_s, v.duration_s, 1e-3);
+  }
+  EXPECT_GE(s.total_duration_s, s.played_media_s - 1e-6);
+  EXPECT_GE(s.startup_delay_s, 0.0);
+}
+
+TEST(HasPlayer, GoodChannelPlaysCleanly) {
+  const auto video = test_video();
+  auto channel = net::make_channel(net::profile_static_good(), 1);
+  const HasPlayer player{PlayerConfig{}};
+  const auto s = player.play(video, *channel, 2);
+  check_invariants(s, video);
+  EXPECT_TRUE(s.adaptive);
+  EXPECT_TRUE(s.stalls.empty());
+  EXPECT_FALSE(s.abandoned);
+  EXPECT_GT(s.chunks.size(), 10u);
+  EXPECT_GT(s.startup_delay_s, 0.0);
+}
+
+TEST(HasPlayer, PoorChannelStalls) {
+  const auto video = test_video();
+  int stalled_sessions = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto profile = net::profile_cell_poor();
+    profile.mean_bandwidth_bps = 0.2e6;  // below even 144p + audio
+    auto channel = net::make_channel(profile, seed);
+    const HasPlayer player{PlayerConfig{}};
+    const auto s = player.play(video, *channel, seed);
+    check_invariants(s, video);
+    if (!s.stalls.empty()) ++stalled_sessions;
+  }
+  EXPECT_GE(stalled_sessions, 8);
+}
+
+TEST(HasPlayer, DeterministicForSeeds) {
+  const auto video = test_video();
+  auto c1 = net::make_channel(net::profile_cell_fair(), 5);
+  auto c2 = net::make_channel(net::profile_cell_fair(), 5);
+  const HasPlayer player{PlayerConfig{}};
+  const auto a = player.play(video, *c1, 6);
+  const auto b = player.play(video, *c2, 6);
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  EXPECT_DOUBLE_EQ(a.total_duration_s, b.total_duration_s);
+  EXPECT_EQ(a.stalls.size(), b.stalls.size());
+}
+
+TEST(HasPlayer, ImprovingChannelSwitchesUp) {
+  const auto video = test_video(180.0);
+  PlayerConfig cfg;
+  cfg.abr.initial = Resolution::p144;
+  auto channel = net::make_channel(net::profile_cell_fair(), 7);
+  const HasPlayer player{cfg};
+  const auto s = player.play(video, *channel, 8);
+  check_invariants(s, video);
+  EXPECT_GE(s.switch_count(), 1u);
+  // The session must end above its cold-start rung.
+  EXPECT_GT(s.average_height(), static_cast<double>(height(Resolution::p144)));
+}
+
+TEST(HasPlayer, CapNeverExceeded) {
+  const auto video = test_video();
+  PlayerConfig cfg;
+  cfg.abr.max_resolution = Resolution::p360;
+  auto channel = net::make_channel(net::profile_static_good(), 9);
+  const HasPlayer player{cfg};
+  const auto s = player.play(video, *channel, 10);
+  for (const ChunkEvent& c : s.chunks) {
+    EXPECT_LE(static_cast<int>(c.resolution),
+              static_cast<int>(Resolution::p360));
+  }
+}
+
+TEST(HasPlayer, MuxedModeHasNoAudioChunks) {
+  const auto video = test_video();
+  auto channel = net::make_channel(net::profile_cell_fair(), 11);
+  const HasPlayer player{PlayerConfig{}};  // separate_audio = false
+  const auto s = player.play(video, *channel, 12);
+  for (const ChunkEvent& c : s.chunks) EXPECT_FALSE(c.is_audio);
+}
+
+TEST(HasPlayer, SeparateAudioModeEmitsAudioChunks) {
+  const auto video = test_video(180.0);
+  PlayerConfig cfg;
+  cfg.separate_audio = true;
+  auto channel = net::make_channel(net::profile_cell_fair(), 13);
+  const HasPlayer player{cfg};
+  const auto s = player.play(video, *channel, 14);
+  std::size_t audio = 0;
+  for (const ChunkEvent& c : s.chunks) audio += c.is_audio ? 1 : 0;
+  EXPECT_GT(audio, 0u);
+  EXPECT_LT(audio, s.chunks.size());
+}
+
+TEST(ProgressivePlayer, FixedRepresentationThroughout) {
+  const auto video = test_video();
+  auto channel = net::make_channel(net::profile_cell_fair(), 15);
+  const ProgressivePlayer player{PlayerConfig{}};
+  const auto s = player.play(video, Resolution::p360, *channel, 16);
+  check_invariants(s, video);
+  EXPECT_FALSE(s.adaptive);
+  EXPECT_EQ(s.switch_count(), 0u);
+  for (const ChunkEvent& c : s.chunks) {
+    EXPECT_EQ(c.resolution, Resolution::p360);
+  }
+}
+
+TEST(ProgressivePlayer, DownloadsWholeFile) {
+  const auto video = test_video(60.0);
+  auto channel = net::make_channel(net::profile_static_good(), 17);
+  PlayerConfig cfg;
+  const ProgressivePlayer player{cfg};
+  const auto s = player.play(video, Resolution::p480, *channel, 18);
+  std::uint64_t total = 0;
+  for (const ChunkEvent& c : s.chunks) total += c.size_bytes;
+  const double expected = (nominal_bitrate_bps(Resolution::p480) + 128e3) *
+                          60.0 / 8.0;
+  EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.15);
+}
+
+TEST(ProgressivePlayer, StallRecoveryShrinksChunks) {
+  const auto video = test_video(180.0);
+  auto profile = net::profile_cell_poor();
+  profile.mean_bandwidth_bps = 0.35e6;
+  PlayerConfig cfg;
+  bool found_recovery = false;
+  for (std::uint64_t seed = 0; seed < 12 && !found_recovery; ++seed) {
+    auto channel = net::make_channel(profile, seed);
+    const ProgressivePlayer player{cfg};
+    const auto s = player.play(video, Resolution::p360, *channel, seed);
+    if (s.stalls.empty()) continue;
+    std::uint64_t min_size = ~0ull;
+    std::uint64_t max_size = 0;
+    for (const ChunkEvent& c : s.chunks) {
+      min_size = std::min(min_size, c.size_bytes);
+      max_size = std::max(max_size, c.size_bytes);
+    }
+    // A stalled session must contain at least one small recovery range,
+    // well under the steady burst size.
+    if (min_size < max_size / 2) found_recovery = true;
+  }
+  EXPECT_TRUE(found_recovery);
+}
+
+TEST(ProgressivePlayer, AbandonmentBoundsPlayedMedia) {
+  const auto video = test_video(300.0);
+  auto profile = net::profile_cell_outage();
+  int abandoned = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto channel = net::make_channel(profile, seed);
+    const ProgressivePlayer player{PlayerConfig{}};
+    const auto s = player.play(video, Resolution::p480, *channel, seed);
+    check_invariants(s, video);
+    if (s.abandoned) {
+      ++abandoned;
+      EXPECT_LT(s.played_media_s, video.duration_s);
+    }
+  }
+  EXPECT_GT(abandoned, 0);
+}
+
+// Property: invariants hold across a seed sweep on the mobility channel —
+// the most eventful channel (handovers, stalls, switches, abandonment).
+class PlayerInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlayerInvariants, MobilityChannelSweep) {
+  const auto video = test_video(150.0);
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  auto channel = net::make_commute_channel(seed);
+  const HasPlayer has{PlayerConfig{}};
+  const auto s = has.play(video, *channel, seed * 31 + 7);
+  check_invariants(s, video);
+
+  auto channel2 = net::make_commute_channel(seed + 1000);
+  const ProgressivePlayer prog{PlayerConfig{}};
+  const auto p = prog.play(video, Resolution::p360, *channel2, seed * 17 + 3);
+  check_invariants(p, video);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlayerInvariants, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace vqoe::sim

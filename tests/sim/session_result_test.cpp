@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "vqoe/sim/player.h"
+
+namespace vqoe::sim {
+namespace {
+
+ChunkEvent chunk(Resolution res, double media_s, bool audio = false) {
+  ChunkEvent c;
+  c.resolution = res;
+  c.is_audio = audio;
+  c.size_bytes = static_cast<std::uint64_t>(
+      nominal_bitrate_bps(res) * media_s / 8.0);
+  return c;
+}
+
+TEST(SessionResult, RebufferingRatioBasics) {
+  SessionResult s;
+  s.total_duration_s = 100.0;
+  EXPECT_DOUBLE_EQ(s.rebuffering_ratio(), 0.0);
+  s.stalls = {{10.0, 5.0}, {50.0, 15.0}};
+  EXPECT_DOUBLE_EQ(s.stall_total_s(), 20.0);
+  EXPECT_DOUBLE_EQ(s.rebuffering_ratio(), 0.2);
+}
+
+TEST(SessionResult, RebufferingRatioClampedToOne) {
+  SessionResult s;
+  s.total_duration_s = 10.0;
+  s.stalls = {{0.0, 50.0}};
+  EXPECT_DOUBLE_EQ(s.rebuffering_ratio(), 1.0);
+}
+
+TEST(SessionResult, DegenerateDurationIsZeroRatio) {
+  SessionResult s;
+  s.total_duration_s = 0.0;
+  s.stalls = {{0.0, 5.0}};
+  EXPECT_DOUBLE_EQ(s.rebuffering_ratio(), 0.0);
+}
+
+TEST(SessionResult, AverageHeightWeightsByMediaTime) {
+  SessionResult s;
+  // 30 s of 144p and 10 s of 720p: mean = (144*30 + 720*10) / 40 = 288.
+  s.chunks = {chunk(Resolution::p144, 30.0), chunk(Resolution::p720, 10.0)};
+  EXPECT_NEAR(s.average_height(), 288.0, 1.0);
+}
+
+TEST(SessionResult, AverageHeightIgnoresAudio) {
+  SessionResult s;
+  s.chunks = {chunk(Resolution::p360, 10.0),
+              chunk(Resolution::p144, 100.0, /*audio=*/true)};
+  EXPECT_NEAR(s.average_height(), 360.0, 1e-6);
+}
+
+TEST(SessionResult, EmptySessionHasZeroHeight) {
+  const SessionResult s;
+  EXPECT_DOUBLE_EQ(s.average_height(), 0.0);
+  EXPECT_EQ(s.switch_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.switch_amplitude(), 0.0);
+}
+
+TEST(SessionResult, SwitchCountOnVideoChunksOnly) {
+  SessionResult s;
+  s.chunks = {chunk(Resolution::p240, 5.0), chunk(Resolution::p240, 5.0),
+              chunk(Resolution::p360, 5.0, /*audio=*/true),  // ignored
+              chunk(Resolution::p240, 5.0), chunk(Resolution::p480, 5.0)};
+  EXPECT_EQ(s.switch_count(), 1u);
+}
+
+TEST(SessionResult, SwitchAmplitudeIsEq2) {
+  SessionResult s;
+  // Rungs 1 -> 3 -> 3: |3-1| + |3-3| over (K-1)=2 pairs = 1.0.
+  s.chunks = {chunk(Resolution::p240, 5.0), chunk(Resolution::p480, 5.0),
+              chunk(Resolution::p480, 5.0)};
+  EXPECT_DOUBLE_EQ(s.switch_amplitude(), 1.0);
+}
+
+TEST(SessionResult, VideoChunksFilter) {
+  SessionResult s;
+  s.chunks = {chunk(Resolution::p240, 5.0), chunk(Resolution::p240, 5.0, true),
+              chunk(Resolution::p240, 5.0)};
+  EXPECT_EQ(s.video_chunks().size(), 2u);
+}
+
+}  // namespace
+}  // namespace vqoe::sim

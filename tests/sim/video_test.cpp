@@ -1,0 +1,118 @@
+#include "vqoe/sim/video.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vqoe::sim {
+namespace {
+
+TEST(Resolution, HeightsMatchNames) {
+  EXPECT_EQ(height(Resolution::p144), 144);
+  EXPECT_EQ(height(Resolution::p1080), 1080);
+  EXPECT_EQ(to_string(Resolution::p360), "360p");
+}
+
+TEST(Resolution, BitratesStrictlyIncreaseWithHeight) {
+  for (int r = 1; r < kNumResolutions; ++r) {
+    EXPECT_GT(nominal_bitrate_bps(static_cast<Resolution>(r)),
+              nominal_bitrate_bps(static_cast<Resolution>(r - 1)));
+  }
+}
+
+TEST(Resolution, FromHeightRoundTrips) {
+  for (int r = 0; r < kNumResolutions; ++r) {
+    const auto res = static_cast<Resolution>(r);
+    EXPECT_EQ(resolution_from_height(height(res)), res);
+  }
+  EXPECT_THROW((void)resolution_from_height(333), std::invalid_argument);
+}
+
+TEST(VideoDescription, AtFindsLadderEntry) {
+  Catalog catalog{4, 1};
+  const auto& v = catalog.videos().front();
+  EXPECT_EQ(v.at(Resolution::p480).resolution, Resolution::p480);
+}
+
+TEST(VideoDescription, AtThrowsForMissingRung) {
+  VideoDescription v;
+  v.ladder = {{Resolution::p360, 5e5}};
+  EXPECT_THROW((void)v.at(Resolution::p720), std::out_of_range);
+}
+
+TEST(VideoDescription, BestUnderPicksHighestAffordable) {
+  Catalog catalog{4, 2};
+  const auto& v = catalog.videos().front();
+  const auto& pick = v.best_under(1.2e6);
+  // 480p nominal ~1.05 Mbit/s (+-15% encode variation) should be at or near
+  // the budget; everything above must exceed it.
+  EXPECT_LE(pick.bitrate_bps, 1.2e6);
+  for (const auto& rep : v.ladder) {
+    if (rep.bitrate_bps <= 1.2e6) {
+      EXPECT_LE(rep.bitrate_bps, pick.bitrate_bps);
+    }
+  }
+}
+
+TEST(VideoDescription, BestUnderFallsBackToLowestRung) {
+  Catalog catalog{4, 3};
+  const auto& v = catalog.videos().front();
+  const auto& pick = v.best_under(1.0);  // 1 bit/s budget
+  EXPECT_EQ(pick.resolution, v.ladder.front().resolution);
+}
+
+TEST(VideoDescription, EmptyLadderThrows) {
+  const VideoDescription v;
+  EXPECT_THROW((void)v.best_under(1e6), std::out_of_range);
+}
+
+TEST(Catalog, DeterministicForSeed) {
+  Catalog a{50, 9}, b{50, 9};
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.videos()[i].duration_s, b.videos()[i].duration_s);
+  }
+}
+
+TEST(Catalog, DurationsInDocumentedRange) {
+  Catalog catalog{500, 10};
+  double total = 0.0;
+  for (const auto& v : catalog.videos()) {
+    EXPECT_GE(v.duration_s, 30.0);
+    EXPECT_LE(v.duration_s, 900.0);
+    EXPECT_EQ(v.ladder.size(), static_cast<std::size_t>(kNumResolutions));
+    total += v.duration_s;
+  }
+  // Section 4.3: average session duration ~180 s.
+  EXPECT_NEAR(total / 500.0, 180.0, 60.0);
+}
+
+TEST(Catalog, SampleReturnsMember) {
+  Catalog catalog{8, 11};
+  std::mt19937_64 rng{12};
+  const auto& v = catalog.sample(rng);
+  bool found = false;
+  for (const auto& w : catalog.videos()) {
+    if (w.video_id == v.video_id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Catalog, EmptySampleThrows) {
+  Catalog catalog{0, 13};
+  std::mt19937_64 rng{14};
+  EXPECT_THROW((void)catalog.sample(rng), std::out_of_range);
+}
+
+TEST(Catalog, EncodeVariationStaysWithinBand) {
+  Catalog catalog{100, 15};
+  for (const auto& v : catalog.videos()) {
+    for (const auto& rep : v.ladder) {
+      const double nominal = nominal_bitrate_bps(rep.resolution);
+      EXPECT_GE(rep.bitrate_bps, nominal * 0.85 - 1.0);
+      EXPECT_LE(rep.bitrate_bps, nominal * 1.15 + 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqoe::sim

@@ -1,0 +1,105 @@
+#include "vqoe/trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::trace {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vqoe_csv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, WeblogRoundTrip) {
+  auto options = workload::cleartext_corpus_options(20, 7);
+  options.keep_session_results = false;
+  const auto corpus = workload::generate_corpus(options);
+  ASSERT_FALSE(corpus.weblogs.empty());
+
+  const auto path = dir_ / "weblogs.csv";
+  write_weblogs_csv(path, corpus.weblogs);
+  const auto loaded = read_weblogs_csv(path);
+
+  ASSERT_EQ(loaded.size(), corpus.weblogs.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const WeblogRecord& a = corpus.weblogs[i];
+    const WeblogRecord& b = loaded[i];
+    EXPECT_EQ(a.subscriber_id, b.subscriber_id);
+    EXPECT_NEAR(a.timestamp_s, b.timestamp_s, 1e-4);
+    EXPECT_EQ(a.object_size_bytes, b.object_size_bytes);
+    EXPECT_EQ(a.host, b.host);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.encrypted, b.encrypted);
+    EXPECT_EQ(a.session_id, b.session_id);
+    EXPECT_EQ(a.itag_height, b.itag_height);
+    EXPECT_EQ(a.is_audio, b.is_audio);
+    EXPECT_NEAR(a.transport.rtt_avg_ms, b.transport.rtt_avg_ms, 1e-4);
+    EXPECT_NEAR(a.transport.bdp_bytes, b.transport.bdp_bytes, 1e-2);
+    EXPECT_NEAR(a.transport.loss_pct, b.transport.loss_pct, 1e-6);
+  }
+}
+
+TEST_F(CsvTest, GroundTruthRoundTrip) {
+  auto options = workload::cleartext_corpus_options(15, 8);
+  options.keep_session_results = false;
+  const auto corpus = workload::generate_corpus(options);
+
+  const auto path = dir_ / "truth.csv";
+  write_ground_truth_csv(path, corpus.truths);
+  const auto loaded = read_ground_truth_csv(path);
+
+  ASSERT_EQ(loaded.size(), corpus.truths.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const SessionGroundTruth& a = corpus.truths[i];
+    const SessionGroundTruth& b = loaded[i];
+    EXPECT_EQ(a.session_id, b.session_id);
+    EXPECT_EQ(a.subscriber_id, b.subscriber_id);
+    EXPECT_EQ(a.adaptive, b.adaptive);
+    EXPECT_EQ(a.abandoned, b.abandoned);
+    EXPECT_EQ(a.media_chunk_count, b.media_chunk_count);
+    EXPECT_EQ(a.stall_count, b.stall_count);
+    EXPECT_NEAR(a.rebuffering_ratio, b.rebuffering_ratio, 1e-6);
+    EXPECT_NEAR(a.average_height, b.average_height, 1e-4);
+    EXPECT_NEAR(a.startup_delay_s, b.startup_delay_s, 1e-6);
+    EXPECT_EQ(a.switch_count, b.switch_count);
+  }
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_weblogs_csv(dir_ / "nope.csv"), std::runtime_error);
+  EXPECT_THROW(read_ground_truth_csv(dir_ / "nope.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, MalformedRowThrows) {
+  const auto path = dir_ / "bad.csv";
+  {
+    std::ofstream os{path};
+    os << "header\n";
+    os << "only,three,fields\n";
+  }
+  EXPECT_THROW(read_weblogs_csv(path), std::runtime_error);
+}
+
+TEST_F(CsvTest, EmptyRecordListProducesHeaderOnly) {
+  const auto path = dir_ / "empty.csv";
+  write_weblogs_csv(path, {});
+  const auto loaded = read_weblogs_csv(path);
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace vqoe::trace

@@ -1,0 +1,191 @@
+#include "vqoe/trace/weblog.h"
+
+#include <gtest/gtest.h>
+
+#include "vqoe/net/channel.h"
+#include "vqoe/net/profile.h"
+#include "vqoe/sim/player.h"
+
+namespace vqoe::trace {
+namespace {
+
+sim::SessionResult simulate_session(std::uint64_t seed = 1) {
+  sim::VideoDescription v;
+  v.video_id = "t";
+  v.duration_s = 90.0;
+  for (int r = 0; r < sim::kNumResolutions; ++r) {
+    const auto res = static_cast<sim::Resolution>(r);
+    v.ladder.push_back({res, sim::nominal_bitrate_bps(res)});
+  }
+  auto channel = net::make_channel(net::profile_cell_fair(), seed);
+  const sim::HasPlayer player{sim::PlayerConfig{}};
+  return player.play(v, *channel, seed);
+}
+
+TEST(MakeSessionId, FormatAndUniqueness) {
+  std::mt19937_64 rng{1};
+  const auto a = make_session_id(rng);
+  const auto b = make_session_id(rng);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_NE(a, b);
+  for (char c : a) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_');
+  }
+}
+
+TEST(ToWeblogs, EmitsAllRecordKinds) {
+  const auto session = simulate_session();
+  std::mt19937_64 rng{2};
+  WeblogOptions options;
+  options.subscriber_id = "sub-9";
+  options.start_time_s = 1000.0;
+  const auto rendered = to_weblogs(session, options, rng);
+
+  std::size_t media = 0, page = 0, report = 0;
+  for (const WeblogRecord& r : rendered.records) {
+    EXPECT_EQ(r.subscriber_id, "sub-9");
+    EXPECT_FALSE(r.encrypted);
+    switch (r.kind) {
+      case RecordKind::media: ++media; break;
+      case RecordKind::page_object: ++page; break;
+      case RecordKind::playback_report: ++report; break;
+    }
+  }
+  EXPECT_EQ(media, session.chunks.size());
+  EXPECT_EQ(page, static_cast<std::size_t>(options.page_objects));
+  EXPECT_GE(report, 1u);
+}
+
+TEST(ToWeblogs, RecordsSortedAndAfterStart) {
+  const auto session = simulate_session(3);
+  std::mt19937_64 rng{4};
+  WeblogOptions options;
+  options.start_time_s = 500.0;
+  const auto rendered = to_weblogs(session, options, rng);
+  double prev = 0.0;
+  for (const WeblogRecord& r : rendered.records) {
+    EXPECT_GE(r.timestamp_s, 500.0);
+    EXPECT_GE(r.timestamp_s, prev);
+    prev = r.timestamp_s;
+  }
+}
+
+TEST(ToWeblogs, TruthMatchesSession) {
+  const auto session = simulate_session(5);
+  std::mt19937_64 rng{6};
+  const auto rendered = to_weblogs(session, WeblogOptions{}, rng);
+  const SessionGroundTruth& t = rendered.truth;
+  EXPECT_EQ(t.media_chunk_count, session.chunks.size());
+  EXPECT_EQ(t.stall_count, static_cast<int>(session.stalls.size()));
+  EXPECT_DOUBLE_EQ(t.stall_duration_s, session.stall_total_s());
+  EXPECT_DOUBLE_EQ(t.rebuffering_ratio, session.rebuffering_ratio());
+  EXPECT_DOUBLE_EQ(t.average_height, session.average_height());
+  EXPECT_EQ(t.switch_count, session.switch_count());
+  EXPECT_TRUE(t.adaptive);
+  EXPECT_EQ(t.session_id.size(), 16u);
+}
+
+TEST(ToWeblogs, PlaybackReportsSumToTotalStalls) {
+  // Reports partition the timeline: their stall payloads must add up to the
+  // session's ground truth.
+  const auto session = simulate_session(7);
+  std::mt19937_64 rng{8};
+  const auto rendered = to_weblogs(session, WeblogOptions{}, rng);
+  int reported = 0;
+  for (const WeblogRecord& r : rendered.records) {
+    if (r.kind == RecordKind::playback_report) reported += r.report_stall_count;
+  }
+  EXPECT_EQ(reported, static_cast<int>(session.stalls.size()));
+}
+
+TEST(ToWeblogs, ExplicitSessionIdUsed) {
+  const auto session = simulate_session(9);
+  std::mt19937_64 rng{10};
+  WeblogOptions options;
+  options.session_id = "fixed-session-0001";
+  const auto rendered = to_weblogs(session, options, rng);
+  EXPECT_EQ(rendered.truth.session_id, "fixed-session-0001");
+  for (const WeblogRecord& r : rendered.records) {
+    EXPECT_EQ(r.session_id, "fixed-session-0001");
+  }
+}
+
+TEST(ToWeblogs, MediaCarriesItagGroundTruth) {
+  const auto session = simulate_session(11);
+  std::mt19937_64 rng{12};
+  const auto rendered = to_weblogs(session, WeblogOptions{}, rng);
+  std::size_t media_idx = 0;
+  for (const WeblogRecord& r : rendered.records) {
+    if (r.kind != RecordKind::media) continue;
+    EXPECT_GT(r.itag_height, 0);
+    EXPECT_EQ(r.object_size_bytes, session.chunks[media_idx].size_bytes);
+    ++media_idx;
+  }
+}
+
+TEST(EncryptView, StripsUriMetadataKeepsTransport) {
+  const auto session = simulate_session(13);
+  std::mt19937_64 rng{14};
+  const auto rendered = to_weblogs(session, WeblogOptions{}, rng);
+  const auto encrypted = encrypt_view(rendered.records);
+  ASSERT_EQ(encrypted.size(), rendered.records.size());
+  for (std::size_t i = 0; i < encrypted.size(); ++i) {
+    const WeblogRecord& e = encrypted[i];
+    const WeblogRecord& c = rendered.records[i];
+    EXPECT_TRUE(e.encrypted);
+    EXPECT_TRUE(e.session_id.empty());
+    EXPECT_EQ(e.itag_height, 0);
+    EXPECT_FALSE(e.is_audio);
+    EXPECT_EQ(e.report_stall_count, 0);
+    // The operator still sees host, sizes, timing, transport annotations.
+    EXPECT_EQ(e.host, c.host);
+    EXPECT_EQ(e.object_size_bytes, c.object_size_bytes);
+    EXPECT_DOUBLE_EQ(e.timestamp_s, c.timestamp_s);
+    EXPECT_DOUBLE_EQ(e.transport.rtt_avg_ms, c.transport.rtt_avg_ms);
+  }
+}
+
+TEST(RemoveCached, DropsOnlyCacheHits) {
+  std::vector<WeblogRecord> records(4);
+  records[1].served_from_cache = true;
+  records[3].served_from_cache = true;
+  const auto cleaned = remove_cached(records);
+  EXPECT_EQ(cleaned.size(), 2u);
+  for (const WeblogRecord& r : cleaned) EXPECT_FALSE(r.served_from_cache);
+}
+
+TEST(GroupBySessionId, GroupsMediaOnlyCleartext) {
+  const auto s1 = simulate_session(15);
+  const auto s2 = simulate_session(16);
+  std::mt19937_64 rng{17};
+  WeblogOptions o1, o2;
+  o1.session_id = "aaaaaaaaaaaaaaaa";
+  o2.session_id = "bbbbbbbbbbbbbbbb";
+  auto r1 = to_weblogs(s1, o1, rng);
+  auto r2 = to_weblogs(s2, o2, rng);
+
+  std::vector<WeblogRecord> all;
+  all.insert(all.end(), r1.records.begin(), r1.records.end());
+  all.insert(all.end(), r2.records.begin(), r2.records.end());
+
+  const auto groups = group_by_session_id(all);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at("aaaaaaaaaaaaaaaa").size(), s1.chunks.size());
+  EXPECT_EQ(groups.at("bbbbbbbbbbbbbbbb").size(), s2.chunks.size());
+  for (const auto& [id, records] : groups) {
+    for (const WeblogRecord& r : records) {
+      EXPECT_EQ(r.kind, RecordKind::media);
+    }
+  }
+}
+
+TEST(GroupBySessionId, IgnoresEncryptedRecords) {
+  const auto session = simulate_session(18);
+  std::mt19937_64 rng{19};
+  const auto rendered = to_weblogs(session, WeblogOptions{}, rng);
+  const auto encrypted = encrypt_view(rendered.records);
+  EXPECT_TRUE(group_by_session_id(encrypted).empty());
+}
+
+}  // namespace
+}  // namespace vqoe::trace

@@ -1,0 +1,145 @@
+#include "vqoe/ts/cusum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "vqoe/ts/summary.h"
+
+namespace vqoe::ts {
+namespace {
+
+TEST(CusumChart, EndsNearZeroWithSampleMean) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const auto chart = cusum_chart(v);
+  ASSERT_EQ(chart.size(), v.size());
+  EXPECT_NEAR(chart.back(), 0.0, 1e-9);
+}
+
+TEST(CusumChart, ExplicitReferenceMean) {
+  const std::vector<double> v{1, 1, 1};
+  const auto chart = cusum_chart(v, 0.0);
+  EXPECT_DOUBLE_EQ(chart[0], 1.0);
+  EXPECT_DOUBLE_EQ(chart[1], 2.0);
+  EXPECT_DOUBLE_EQ(chart[2], 3.0);
+}
+
+TEST(CusumChart, EmptyInput) { EXPECT_TRUE(cusum_chart({}).empty()); }
+
+TEST(CusumStd, ZeroForShortSeries) {
+  EXPECT_DOUBLE_EQ(cusum_std({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(cusum_std(one), 0.0);
+}
+
+TEST(CusumStd, ConstantSeriesIsZero) {
+  const std::vector<double> v(50, 3.14);
+  EXPECT_NEAR(cusum_std(v), 0.0, 1e-9);
+}
+
+TEST(CusumStd, MeanShiftScoresHigherThanNoise) {
+  std::mt19937_64 rng{11};
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> flat(100), shifted(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    flat[i] = noise(rng);
+    shifted[i] = noise(rng) + (i >= 50 ? 8.0 : 0.0);
+  }
+  EXPECT_GT(cusum_std(shifted), 5.0 * cusum_std(flat));
+}
+
+// Property: the detector statistic grows with the shift magnitude.
+class CusumShift : public ::testing::TestWithParam<double> {};
+
+TEST_P(CusumShift, MonotoneInShiftMagnitude) {
+  std::mt19937_64 rng{5};
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> base(80);
+  for (double& x : base) x = noise(rng);
+
+  auto with_shift = [&](double amp) {
+    std::vector<double> v = base;
+    for (std::size_t i = 40; i < v.size(); ++i) v[i] += amp;
+    return cusum_std(v);
+  };
+  const double amp = GetParam();
+  EXPECT_GT(with_shift(amp), with_shift(amp / 4.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, CusumShift,
+                         ::testing::Values(2.0, 4.0, 8.0, 16.0, 32.0));
+
+TEST(PageCusum, RejectsBadParameters) {
+  EXPECT_THROW(PageCusum(0.0, -1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(PageCusum(0.0, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(PageCusum, NoAlarmOnInControlSeries) {
+  std::mt19937_64 rng{17};
+  std::normal_distribution<double> noise(10.0, 1.0);
+  PageCusum detector{10.0, 1.0, 8.0};
+  std::vector<double> v(500);
+  for (double& x : v) x = noise(rng);
+  EXPECT_TRUE(detector.detect(v).empty());
+}
+
+TEST(PageCusum, AlarmsShortlyAfterUpwardShift) {
+  std::mt19937_64 rng{23};
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> v(200);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = noise(rng) + (i >= 100 ? 5.0 : 0.0);
+  }
+  PageCusum detector{0.0, 1.0, 10.0};
+  const auto alarms = detector.detect(v);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_GE(alarms.front(), 100u);
+  EXPECT_LE(alarms.front(), 110u);
+}
+
+TEST(PageCusum, DetectsDownwardShiftToo) {
+  std::vector<double> v(60, 10.0);
+  for (std::size_t i = 30; i < v.size(); ++i) v[i] = 2.0;
+  PageCusum detector{10.0, 1.0, 12.0};
+  const auto alarms = detector.detect(v);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_GE(alarms.front(), 30u);
+}
+
+TEST(PageCusum, ResetsAfterAlarm) {
+  PageCusum detector{0.0, 0.0, 5.0};
+  EXPECT_FALSE(detector.step(3.0));
+  EXPECT_TRUE(detector.step(3.0));  // 6 > 5 -> alarm + reset
+  EXPECT_DOUBLE_EQ(detector.positive_statistic(), 0.0);
+  EXPECT_DOUBLE_EQ(detector.negative_statistic(), 0.0);
+}
+
+TEST(Deltas, HandValues) {
+  const std::vector<double> v{1, 4, 2, 2};
+  const auto d = deltas(v);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(Deltas, ShortInputs) {
+  EXPECT_TRUE(deltas({}).empty());
+  const std::vector<double> one{1.0};
+  EXPECT_TRUE(deltas(one).empty());
+}
+
+TEST(Product, ElementWise) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, -6};
+  const auto p = product(a, b);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 4.0);
+  EXPECT_DOUBLE_EQ(p[1], 10.0);
+  EXPECT_DOUBLE_EQ(p[2], -18.0);
+}
+
+}  // namespace
+}  // namespace vqoe::ts

@@ -1,0 +1,92 @@
+#include "vqoe/ts/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace vqoe::ts {
+namespace {
+
+TEST(Ecdf, EmptyEvaluatesToZero) {
+  const Ecdf e{{}};
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 0.0);
+  EXPECT_TRUE(e.grid(10).empty());
+}
+
+TEST(Ecdf, HandValues) {
+  const std::vector<double> v{1, 2, 2, 3};
+  const Ecdf e{v};
+  EXPECT_DOUBLE_EQ(e(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(e(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(e(99.0), 1.0);
+}
+
+TEST(Ecdf, QuantileHandValues) {
+  const std::vector<double> v{10, 20, 30, 40};
+  const Ecdf e{v};
+  EXPECT_DOUBLE_EQ(e.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+}
+
+TEST(Ecdf, MinMaxAndSize) {
+  const std::vector<double> v{5, -1, 3};
+  const Ecdf e{v};
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.min(), -1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 5.0);
+}
+
+TEST(Ecdf, GridCoversRangeAndIsMonotone) {
+  std::mt19937_64 rng{3};
+  std::exponential_distribution<double> value(0.1);
+  std::vector<double> v(300);
+  for (double& x : v) x = value(rng);
+  const Ecdf e{v};
+
+  const auto g = e.grid(50);
+  ASSERT_EQ(g.size(), 50u);
+  EXPECT_DOUBLE_EQ(g.front().first, e.min());
+  EXPECT_DOUBLE_EQ(g.back().first, e.max());
+  EXPECT_DOUBLE_EQ(g.back().second, 1.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_GE(g[i].first, g[i - 1].first);
+    EXPECT_GE(g[i].second, g[i - 1].second);
+  }
+}
+
+TEST(Ecdf, GridDegenerateSample) {
+  const std::vector<double> v{7, 7, 7};
+  const Ecdf e{v};
+  const auto g = e.grid(5);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.front().first, 7.0);
+  EXPECT_DOUBLE_EQ(g.front().second, 1.0);
+}
+
+// Property: F(quantile(q)) >= q for all q.
+class EcdfInverse : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdfInverse, QuantileIsGeneralizedInverse) {
+  std::mt19937_64 rng{static_cast<std::uint64_t>(GetParam())};
+  std::normal_distribution<double> value(0.0, 5.0);
+  std::vector<double> v(1 + GetParam() * 17 % 97);
+  for (double& x : v) x = value(rng);
+  const Ecdf e{v};
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    EXPECT_GE(e(e.quantile(q)), q - 1e-12) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfInverse, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace vqoe::ts

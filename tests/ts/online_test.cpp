@@ -1,0 +1,88 @@
+#include "vqoe/ts/online.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "vqoe/ts/summary.h"
+
+namespace vqoe::ts {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, MatchesBatchComputation) {
+  std::mt19937_64 rng{13};
+  std::lognormal_distribution<double> value(1.0, 0.8);
+  std::vector<double> v(1000);
+  OnlineStats s;
+  for (double& x : v) {
+    x = value(rng);
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), v.size());
+  EXPECT_NEAR(s.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(s.std_dev(), std_dev(v), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(s.max(), *std::max_element(v.begin(), v.end()));
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  const OnlineStats before = a;
+  a.merge(OnlineStats{});
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+// Property: merging two halves equals processing the whole stream.
+class OnlineMerge : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineMerge, SplitMergeEqualsWhole) {
+  std::mt19937_64 rng{static_cast<std::uint64_t>(GetParam()) * 7 + 1};
+  std::normal_distribution<double> value(-3.0, 11.0);
+  const std::size_t n = 200 + static_cast<std::size_t>(GetParam()) * 37;
+  const std::size_t split = n / 3 + static_cast<std::size_t>(GetParam());
+
+  OnlineStats whole, left, right;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = value(rng);
+    whole.add(x);
+    (i < split ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, OnlineMerge, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace vqoe::ts

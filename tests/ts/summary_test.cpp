@@ -1,0 +1,147 @@
+#include "vqoe/ts/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace vqoe::ts {
+namespace {
+
+TEST(StatisticName, CanonicalNames) {
+  EXPECT_EQ((Statistic{Statistic::Kind::minimum, 0}).name(), "min");
+  EXPECT_EQ((Statistic{Statistic::Kind::maximum, 0}).name(), "max");
+  EXPECT_EQ((Statistic{Statistic::Kind::mean, 0}).name(), "mean");
+  EXPECT_EQ((Statistic{Statistic::Kind::std_dev, 0}).name(), "std");
+  EXPECT_EQ((Statistic{Statistic::Kind::percentile, 25}).name(), "p25");
+  EXPECT_EQ((Statistic{Statistic::Kind::percentile, 5}).name(), "p5");
+}
+
+TEST(StatisticSets, PaperCardinalities) {
+  // Section 4.1: 7 statistics; Section 4.2: 15 statistics.
+  EXPECT_EQ(stall_statistic_set().size(), 7u);
+  EXPECT_EQ(representation_statistic_set().size(), 15u);
+}
+
+TEST(StatisticSets, NamesAreUnique) {
+  for (const auto* set : {&stall_statistic_set(), &representation_statistic_set()}) {
+    std::vector<std::string> names;
+    for (const Statistic& s : *set) names.push_back(s.name());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  }
+}
+
+TEST(Mean, HandValues) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(StdDev, PopulationConvention) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(std_dev(v), 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(std_dev({}), 0.0);
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(std_dev(one), 0.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99), 7.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 3.0);
+}
+
+TEST(Compute, MatchesDirectFunctions) {
+  const std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6};
+  EXPECT_DOUBLE_EQ(compute({Statistic::Kind::minimum, 0}, v), 1.0);
+  EXPECT_DOUBLE_EQ(compute({Statistic::Kind::maximum, 0}, v), 9.0);
+  EXPECT_DOUBLE_EQ(compute({Statistic::Kind::mean, 0}, v), mean(v));
+  EXPECT_DOUBLE_EQ(compute({Statistic::Kind::std_dev, 0}, v), std_dev(v));
+  EXPECT_DOUBLE_EQ(compute({Statistic::Kind::percentile, 75}, v),
+                   percentile(v, 75));
+}
+
+TEST(ComputeAll, ConsistentWithCompute) {
+  std::mt19937_64 rng{7};
+  std::uniform_real_distribution<double> value(-100, 100);
+  std::vector<double> v(57);
+  for (double& x : v) x = value(rng);
+
+  const auto& stats = representation_statistic_set();
+  const auto all = compute_all(stats, v);
+  ASSERT_EQ(all.size(), stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_NEAR(all[i], compute(stats[i], v), 1e-9) << stats[i].name();
+  }
+}
+
+TEST(ComputeAll, EmptySampleAllZeros) {
+  const auto all = compute_all(stall_statistic_set(), {});
+  for (double v : all) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// Property: percentiles are monotone non-decreasing in p.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, NonDecreasingInP) {
+  std::mt19937_64 rng{static_cast<std::uint64_t>(GetParam())};
+  std::lognormal_distribution<double> value(2.0, 1.5);
+  std::vector<double> v(1 + static_cast<std::size_t>(GetParam()) * 13 % 200);
+  for (double& x : v) x = value(rng);
+
+  double prev = percentile(v, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+  EXPECT_GE(percentile(v, 0), *std::min_element(v.begin(), v.end()) - 1e-12);
+  EXPECT_LE(percentile(v, 100), *std::max_element(v.begin(), v.end()) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Range(1, 12));
+
+// Property: every summary statistic lies within [min, max] except std.
+class StatsBounded : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsBounded, WithinRange) {
+  std::mt19937_64 rng{static_cast<std::uint64_t>(GetParam()) * 31 + 5};
+  std::normal_distribution<double> value(50.0, 20.0);
+  std::vector<double> v(64);
+  for (double& x : v) x = value(rng);
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+
+  for (const Statistic& s : representation_statistic_set()) {
+    if (s.kind == Statistic::Kind::std_dev) continue;
+    const double val = compute(s, v);
+    EXPECT_GE(val, lo - 1e-9) << s.name();
+    EXPECT_LE(val, hi + 1e-9) << s.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsBounded, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace vqoe::ts

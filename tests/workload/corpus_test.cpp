@@ -1,0 +1,157 @@
+#include "vqoe/workload/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vqoe/core/labels.h"
+#include "vqoe/core/pipeline.h"
+
+namespace vqoe::workload {
+namespace {
+
+TEST(GenerateCorpus, DeterministicForSeed) {
+  auto options = cleartext_corpus_options(60, 5);
+  options.keep_session_results = false;
+  const auto a = generate_corpus(options);
+  const auto b = generate_corpus(options);
+  ASSERT_EQ(a.weblogs.size(), b.weblogs.size());
+  ASSERT_EQ(a.truths.size(), b.truths.size());
+  for (std::size_t i = 0; i < a.truths.size(); ++i) {
+    EXPECT_EQ(a.truths[i].session_id, b.truths[i].session_id);
+    EXPECT_DOUBLE_EQ(a.truths[i].rebuffering_ratio, b.truths[i].rebuffering_ratio);
+  }
+}
+
+TEST(GenerateCorpus, DifferentSeedsDiffer) {
+  auto o1 = cleartext_corpus_options(30, 6);
+  auto o2 = cleartext_corpus_options(30, 7);
+  o1.keep_session_results = o2.keep_session_results = false;
+  const auto a = generate_corpus(o1);
+  const auto b = generate_corpus(o2);
+  EXPECT_NE(a.truths.front().session_id, b.truths.front().session_id);
+}
+
+TEST(GenerateCorpus, SessionResultsKeptOnRequest) {
+  auto options = cleartext_corpus_options(10, 8);
+  options.keep_session_results = true;
+  const auto corpus = generate_corpus(options);
+  EXPECT_EQ(corpus.sessions.size(), 10u);
+  options.keep_session_results = false;
+  const auto lean = generate_corpus(options);
+  EXPECT_TRUE(lean.sessions.empty());
+}
+
+TEST(GenerateCorpus, WeblogsTimeSortedAndConsistent) {
+  auto options = cleartext_corpus_options(40, 9);
+  options.keep_session_results = false;
+  const auto corpus = generate_corpus(options);
+  double prev = -1.0;
+  for (const auto& r : corpus.weblogs) {
+    EXPECT_GE(r.timestamp_s, prev);
+    prev = r.timestamp_s;
+  }
+  // Every truth has matching media records.
+  const auto groups = trace::group_by_session_id(corpus.weblogs);
+  for (const auto& t : corpus.truths) {
+    const auto it = groups.find(t.session_id);
+    ASSERT_NE(it, groups.end());
+    EXPECT_EQ(it->second.size(), t.media_chunk_count);
+  }
+}
+
+TEST(GenerateCorpus, AdaptiveFractionRespected) {
+  auto options = cleartext_corpus_options(200, 10);
+  options.adaptive_fraction = 0.0;
+  options.keep_session_results = false;
+  for (const auto& t : generate_corpus(options).truths) {
+    EXPECT_FALSE(t.adaptive);
+  }
+  options.adaptive_fraction = 1.0;
+  for (const auto& t : generate_corpus(options).truths) {
+    EXPECT_TRUE(t.adaptive);
+  }
+}
+
+TEST(GenerateCorpus, EncryptedOptionsSingleSubscriberAllAdaptive) {
+  auto options = encrypted_corpus_options(25, 11);
+  options.keep_session_results = false;
+  const auto corpus = generate_corpus(options);
+  std::set<std::string> subscribers;
+  for (const auto& t : corpus.truths) {
+    subscribers.insert(t.subscriber_id);
+    EXPECT_TRUE(t.adaptive);
+  }
+  EXPECT_EQ(subscribers.size(), 1u);
+}
+
+TEST(GenerateCorpus, DeviceStallsInvisibleInTraffic) {
+  // With a forced 100% device-stall rate every session gets one stall in
+  // its ground truth; the traffic of a good channel stays clean (no small
+  // recovery chunks), which is exactly the point of the injection.
+  auto options = cleartext_corpus_options(30, 12);
+  options.device_stall_rate = 1.0;
+  options.mix = {.static_good = 1.0,
+                 .cell_fair = 0.0,
+                 .cell_congested = 0.0,
+                 .cell_poor = 0.0,
+                 .commute = 0.0};
+  options.keep_session_results = false;
+  const auto corpus = generate_corpus(options);
+  std::size_t with_stall = 0;
+  for (const auto& t : corpus.truths) with_stall += t.stall_count > 0 ? 1 : 0;
+  EXPECT_GT(with_stall, corpus.truths.size() * 8 / 10);
+}
+
+TEST(GenerateCorpus, ServiceTraitsChangeDelivery) {
+  // Shorter segments => more chunks per session, different hosts.
+  auto yt = has_corpus_options(40, 13);
+  yt.keep_session_results = false;
+  auto dm = yt;
+  dm.service = dailymotion_like_service();
+
+  const auto yt_corpus = generate_corpus(yt);
+  const auto dm_corpus = generate_corpus(dm);
+
+  double yt_chunks = 0, dm_chunks = 0;
+  for (const auto& t : yt_corpus.truths) yt_chunks += static_cast<double>(t.media_chunk_count);
+  for (const auto& t : dm_corpus.truths) dm_chunks += static_cast<double>(t.media_chunk_count);
+  EXPECT_GT(dm_chunks, yt_chunks * 1.5);  // 2 s vs 5 s segments
+
+  bool saw_dm_host = false;
+  for (const auto& r : dm_corpus.weblogs) {
+    EXPECT_EQ(r.host.find("googlevideo"), std::string::npos);
+    if (r.host.find("dm-cdn-video") != std::string::npos) saw_dm_host = true;
+  }
+  EXPECT_TRUE(saw_dm_host);
+}
+
+TEST(DemoSessions, HaveTheirSignatures) {
+  bool found_stalls = false;
+  for (std::uint64_t seed = 11; seed < 40 && !found_stalls; ++seed) {
+    const auto s = demo_stall_session(seed);
+    if (s.stalls.size() >= 2) found_stalls = true;
+  }
+  EXPECT_TRUE(found_stalls);
+
+  bool found_switch = false;
+  for (std::uint64_t seed = 21; seed < 50 && !found_switch; ++seed) {
+    const auto s = demo_switch_session(seed);
+    if (s.switch_count() >= 1) found_switch = true;
+  }
+  EXPECT_TRUE(found_switch);
+}
+
+TEST(CorpusShape, MatchesPaperAnchors) {
+  auto options = cleartext_corpus_options(2000, 42);
+  options.keep_session_results = false;
+  const auto corpus = generate_corpus(options);
+  std::size_t stalled = 0;
+  for (const auto& t : corpus.truths) stalled += t.stall_count > 0 ? 1 : 0;
+  const double frac = static_cast<double>(stalled) / 2000.0;
+  EXPECT_GT(frac, 0.06);  // paper: ~12%
+  EXPECT_LT(frac, 0.25);
+}
+
+}  // namespace
+}  // namespace vqoe::workload

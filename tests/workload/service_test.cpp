@@ -1,0 +1,61 @@
+#include "vqoe/workload/service.h"
+
+#include <gtest/gtest.h>
+
+#include "vqoe/session/reconstruct.h"
+
+namespace vqoe::workload {
+namespace {
+
+TEST(ServiceTraits, YoutubeDefaultsMatchPaper) {
+  const auto s = youtube_service();
+  EXPECT_EQ(s.name, "youtube");
+  EXPECT_DOUBLE_EQ(s.segment_duration_s, 5.0);
+  EXPECT_DOUBLE_EQ(s.bitrate_scale, 1.0);
+  EXPECT_FALSE(s.separate_audio);
+  EXPECT_NE(s.cdn_host.find("googlevideo"), std::string::npos);
+}
+
+TEST(ServiceTraits, AlternativesDifferInDelivery) {
+  const auto yt = youtube_service();
+  for (const auto& s : {vimeo_like_service(), dailymotion_like_service(),
+                        netflix_like_service()}) {
+    EXPECT_NE(s.name, yt.name);
+    EXPECT_NE(s.segment_duration_s, yt.segment_duration_s) << s.name;
+    EXPECT_NE(s.cdn_host, yt.cdn_host) << s.name;
+    EXPECT_GT(s.segment_duration_s, 0.0) << s.name;
+    EXPECT_GT(s.bitrate_scale, 0.0) << s.name;
+  }
+}
+
+TEST(ServiceTraits, SuffixesMatchOwnHosts) {
+  for (const auto& s : {youtube_service(), vimeo_like_service(),
+                        dailymotion_like_service(), netflix_like_service()}) {
+    session::ReconstructionOptions options;
+    options.cdn_suffixes = s.cdn_suffixes();
+    options.page_marker_hosts = s.page_marker_hosts();
+    options.service_suffixes = s.service_suffixes();
+
+    EXPECT_TRUE(options.is_cdn(s.cdn_host)) << s.name;
+    EXPECT_FALSE(options.is_cdn(s.page_host)) << s.name;
+    EXPECT_TRUE(options.is_page_marker(s.page_host)) << s.name;
+    for (const auto& host :
+         {s.cdn_host, s.page_host, s.thumbnail_host, s.report_host}) {
+      EXPECT_TRUE(options.is_service(host)) << s.name << " " << host;
+    }
+    EXPECT_FALSE(options.is_service("cdn.unrelated.example")) << s.name;
+  }
+}
+
+TEST(ServiceTraits, ServicesDoNotMatchEachOther) {
+  const auto yt = youtube_service();
+  const auto vimeo = vimeo_like_service();
+  session::ReconstructionOptions yt_options;
+  yt_options.cdn_suffixes = yt.cdn_suffixes();
+  yt_options.service_suffixes = yt.service_suffixes();
+  EXPECT_FALSE(yt_options.is_cdn(vimeo.cdn_host));
+  EXPECT_FALSE(yt_options.is_service(vimeo.page_host));
+}
+
+}  // namespace
+}  // namespace vqoe::workload

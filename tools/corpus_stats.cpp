@@ -1,0 +1,115 @@
+// corpus_stats — distribution summary of a generated or loaded corpus.
+//
+//   corpus_stats [--sessions=N] [--seed=N] [--kind=cleartext|has|encrypted]
+//   corpus_stats --weblogs=CSV --truth=CSV
+//
+// Prints the anchors DESIGN.md calibrates against: stall class mix,
+// representation class mix, switch population, chunk/session statistics and
+// the CUSUM switch-score quantiles.
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "vqoe/core/detectors.h"
+#include "vqoe/core/pipeline.h"
+#include "vqoe/trace/csv.h"
+#include "vqoe/ts/ecdf.h"
+#include "vqoe/ts/summary.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+
+  std::vector<core::SessionRecord> sessions;
+  if (const char* weblogs = arg_value(argc, argv, "--weblogs")) {
+    const char* truth = arg_value(argc, argv, "--truth");
+    if (!truth) {
+      std::fprintf(stderr, "--weblogs requires --truth\n");
+      return 2;
+    }
+    workload::Corpus corpus;
+    corpus.weblogs = trace::read_weblogs_csv(weblogs);
+    corpus.truths = trace::read_ground_truth_csv(truth);
+    sessions = core::sessions_from_corpus(corpus);
+  } else {
+    const char* n_arg = arg_value(argc, argv, "--sessions");
+    const char* seed_arg = arg_value(argc, argv, "--seed");
+    const char* kind = arg_value(argc, argv, "--kind");
+    const std::size_t n = n_arg ? std::strtoull(n_arg, nullptr, 10) : 4000;
+    const std::uint64_t seed = seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 42;
+    workload::CorpusOptions options = workload::cleartext_corpus_options(n, seed);
+    if (kind && std::strcmp(kind, "has") == 0) {
+      options = workload::has_corpus_options(n, seed);
+    } else if (kind && std::strcmp(kind, "encrypted") == 0) {
+      options = workload::encrypted_corpus_options(n, seed);
+    }
+    options.keep_session_results = false;
+    auto corpus = workload::generate_corpus(options);
+    if (kind && std::strcmp(kind, "encrypted") == 0) {
+      corpus.weblogs = trace::encrypt_view(std::move(corpus.weblogs));
+      sessions = core::sessions_from_encrypted(corpus.weblogs, corpus.truths);
+    } else {
+      sessions = core::sessions_from_corpus(corpus);
+    }
+  }
+
+  std::map<int, int> stall_mix, repr_mix;
+  std::size_t adaptive = 0, abandoned = 0;
+  std::vector<double> chunk_counts, durations, scores_with, scores_without;
+  const core::SwitchDetector detector;
+  for (const auto& s : sessions) {
+    stall_mix[static_cast<int>(core::stall_label(s.truth))]++;
+    chunk_counts.push_back(static_cast<double>(s.chunks.size()));
+    durations.push_back(s.truth.total_duration_s);
+    if (s.truth.abandoned) ++abandoned;
+    if (s.truth.adaptive) {
+      ++adaptive;
+      repr_mix[static_cast<int>(core::repr_label(s.truth))]++;
+      const double score = detector.score(s.chunks);
+      if (core::variation_label(s.truth) != core::VariationLabel::none) {
+        scores_with.push_back(score);
+      } else {
+        scores_without.push_back(score);
+      }
+    }
+  }
+
+  const auto n = static_cast<double>(sessions.size());
+  std::printf("sessions: %zu (adaptive %zu, abandoned %zu)\n", sessions.size(),
+              adaptive, abandoned);
+  std::printf("chunks/session mean %.1f, duration mean %.1f s\n",
+              ts::mean(chunk_counts), ts::mean(durations));
+  std::printf("stall mix: none %.1f%% / mild %.1f%% / severe %.1f%%\n",
+              100.0 * stall_mix[0] / n, 100.0 * stall_mix[1] / n,
+              100.0 * stall_mix[2] / n);
+  if (adaptive > 0) {
+    const auto a = static_cast<double>(adaptive);
+    std::printf("repr mix (adaptive): LD %.1f%% / SD %.1f%% / HD %.1f%%\n",
+                100.0 * repr_mix[0] / a, 100.0 * repr_mix[1] / a,
+                100.0 * repr_mix[2] / a);
+    auto quantiles = [](const char* name, std::vector<double>& v) {
+      if (v.empty()) return;
+      const ts::Ecdf e{v};
+      std::printf("%s (n=%zu): p25 %.0f p50 %.0f p75 %.0f | <=500: %.2f\n",
+                  name, v.size(), e.quantile(0.25), e.quantile(0.5),
+                  e.quantile(0.75), e(500.0));
+    };
+    quantiles("switch score, no variation ", scores_without);
+    quantiles("switch score, with variation", scores_with);
+  }
+  return 0;
+}

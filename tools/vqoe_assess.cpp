@@ -1,0 +1,84 @@
+// vqoe_assess — apply trained models to (encrypted) weblogs.
+//
+//   vqoe_assess --models=DIR --weblogs=encrypted.csv [--truth=truth.csv]
+//
+// Reconstructs sessions from the records (no URIs needed), assesses each,
+// and prints one CSV row per session to stdout:
+//   subscriber,start_s,chunks,stall,representation,switches,switch_score,mos
+// With --truth, also prints accuracy summaries to stderr.
+#include <cstdio>
+#include <cstring>
+
+#include "vqoe/core/model_io.h"
+#include "vqoe/core/mos.h"
+#include "vqoe/core/pipeline.h"
+#include "vqoe/core/startup.h"
+#include "vqoe/session/reconstruct.h"
+#include "vqoe/trace/csv.h"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: vqoe_assess --models=DIR --weblogs=CSV [--truth=CSV]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+  const char* models = arg_value(argc, argv, "--models");
+  const char* weblogs = arg_value(argc, argv, "--weblogs");
+  if (!models || !weblogs) usage();
+
+  const auto pipeline = core::load_pipeline(models);
+  const auto records = trace::read_weblogs_csv(weblogs);
+  const auto sessions = session::reconstruct(records);
+  std::fprintf(stderr, "%zu records -> %zu sessions\n", records.size(),
+               sessions.size());
+
+  std::printf(
+      "subscriber,start_s,chunks,stall,representation,switches,switch_score,"
+      "mos\n");
+  for (const auto& s : sessions) {
+    const auto chunks = core::chunks_from_session(s);
+    if (chunks.empty()) continue;
+    const auto report = pipeline.assess(chunks);
+    const double mos = core::mos_from_report(
+        report, core::estimate_startup_delay(chunks));
+    std::printf("%s,%.3f,%zu,%s,%s,%d,%.1f,%.2f\n", s.subscriber_id.c_str(),
+                s.start_time_s, chunks.size(),
+                core::stall_class_names()[static_cast<std::size_t>(report.stall)]
+                    .c_str(),
+                core::repr_class_names()[static_cast<std::size_t>(
+                                             report.representation)]
+                    .c_str(),
+                report.quality_switches ? 1 : 0, report.switch_score, mos);
+  }
+
+  if (const char* truth_path = arg_value(argc, argv, "--truth")) {
+    const auto truths = trace::read_ground_truth_csv(truth_path);
+    const auto labelled = core::sessions_from_encrypted(records, truths);
+    const auto stall_cm = core::evaluate_stall(pipeline.stall_detector(), labelled);
+    std::fprintf(stderr, "stall accuracy vs truth: %.1f%% (%zu sessions)\n",
+                 100.0 * stall_cm.accuracy(), stall_cm.total());
+    if (pipeline.representation_detector().trained()) {
+      const auto repr_cm = core::evaluate_representation(
+          pipeline.representation_detector(), labelled);
+      std::fprintf(stderr, "representation accuracy vs truth: %.1f%%\n",
+                   100.0 * repr_cm.accuracy());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// vqoe_train — train the QoE detection pipeline and persist it.
+//
+// Two input modes:
+//   * from CSV:    vqoe_train --weblogs=clear.csv --truth=truth.csv --out=models/
+//   * synthesized: vqoe_train --generate=8000 --seed=42 --out=models/
+//
+// The output directory holds stall.model / representation.model /
+// switch.model, loadable by vqoe_assess or core::load_pipeline().
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "vqoe/core/model_io.h"
+#include "vqoe/core/pipeline.h"
+#include "vqoe/trace/csv.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: vqoe_train --out=DIR (--weblogs=CSV --truth=CSV | "
+               "--generate=N [--seed=N])\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+  const char* out = arg_value(argc, argv, "--out");
+  if (!out) usage();
+
+  std::vector<core::SessionRecord> sessions;
+  if (const char* generate = arg_value(argc, argv, "--generate")) {
+    const char* seed_arg = arg_value(argc, argv, "--seed");
+    const std::uint64_t seed = seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 42;
+    auto options = workload::cleartext_corpus_options(
+        std::strtoull(generate, nullptr, 10), seed);
+    options.keep_session_results = false;
+    std::printf("generating %s labelled sessions (seed %llu)...\n", generate,
+                static_cast<unsigned long long>(seed));
+    sessions = core::sessions_from_corpus(workload::generate_corpus(options));
+  } else {
+    const char* weblogs = arg_value(argc, argv, "--weblogs");
+    const char* truth = arg_value(argc, argv, "--truth");
+    if (!weblogs || !truth) usage();
+    std::printf("loading %s + %s...\n", weblogs, truth);
+    workload::Corpus corpus;
+    corpus.weblogs = trace::read_weblogs_csv(weblogs);
+    corpus.truths = trace::read_ground_truth_csv(truth);
+    sessions = core::sessions_from_corpus(corpus);
+  }
+  if (sessions.empty()) {
+    std::fprintf(stderr, "no labelled sessions found\n");
+    return 1;
+  }
+  std::printf("training on %zu sessions...\n", sessions.size());
+  const auto pipeline = core::QoePipeline::train(sessions);
+  core::save_pipeline(pipeline, out);
+
+  std::printf("models written to %s\n", out);
+  std::printf("stall model: %zu features, %zu trees\n",
+              pipeline.stall_detector().selected_features().size(),
+              pipeline.stall_detector().forest().num_trees());
+  if (pipeline.representation_detector().trained()) {
+    std::printf("representation model: %zu features, %zu trees\n",
+                pipeline.representation_detector().selected_features().size(),
+                pipeline.representation_detector().forest().num_trees());
+  }
+  std::printf("switch detector: threshold %.0f KB*s\n",
+              pipeline.switch_detector().config().threshold);
+  return 0;
+}
