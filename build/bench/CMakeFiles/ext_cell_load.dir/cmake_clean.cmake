@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cell_load.dir/ext_cell_load.cpp.o"
+  "CMakeFiles/ext_cell_load.dir/ext_cell_load.cpp.o.d"
+  "ext_cell_load"
+  "ext_cell_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cell_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_flow_view.dir/ext_flow_view.cpp.o"
+  "CMakeFiles/ext_flow_view.dir/ext_flow_view.cpp.o.d"
+  "ext_flow_view"
+  "ext_flow_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flow_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_learning_curve.dir/ext_learning_curve.cpp.o"
+  "CMakeFiles/ext_learning_curve.dir/ext_learning_curve.cpp.o.d"
+  "ext_learning_curve"
+  "ext_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reconstruction_ablation.dir/ext_reconstruction_ablation.cpp.o"
+  "CMakeFiles/ext_reconstruction_ablation.dir/ext_reconstruction_ablation.cpp.o.d"
+  "ext_reconstruction_ablation"
+  "ext_reconstruction_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reconstruction_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_startup_delay.dir/ext_startup_delay.cpp.o"
+  "CMakeFiles/ext_startup_delay.dir/ext_startup_delay.cpp.o.d"
+  "ext_startup_delay"
+  "ext_startup_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_startup_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_chunk_sizes.cpp" "bench/CMakeFiles/fig1_chunk_sizes.dir/fig1_chunk_sizes.cpp.o" "gcc" "bench/CMakeFiles/fig1_chunk_sizes.dir/fig1_chunk_sizes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vqoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vqoe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/vqoe_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/vqoe_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vqoe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/vqoe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vqoe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vqoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vqoe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_chunk_sizes.dir/fig1_chunk_sizes.cpp.o"
+  "CMakeFiles/fig1_chunk_sizes.dir/fig1_chunk_sizes.cpp.o.d"
+  "fig1_chunk_sizes"
+  "fig1_chunk_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_chunk_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

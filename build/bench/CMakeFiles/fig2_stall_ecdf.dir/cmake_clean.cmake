@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stall_ecdf.dir/fig2_stall_ecdf.cpp.o"
+  "CMakeFiles/fig2_stall_ecdf.dir/fig2_stall_ecdf.cpp.o.d"
+  "fig2_stall_ecdf"
+  "fig2_stall_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stall_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_switch_deltas.dir/fig3_switch_deltas.cpp.o"
+  "CMakeFiles/fig3_switch_deltas.dir/fig3_switch_deltas.cpp.o.d"
+  "fig3_switch_deltas"
+  "fig3_switch_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_switch_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

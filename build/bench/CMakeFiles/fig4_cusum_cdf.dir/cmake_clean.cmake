@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cusum_cdf.dir/fig4_cusum_cdf.cpp.o"
+  "CMakeFiles/fig4_cusum_cdf.dir/fig4_cusum_cdf.cpp.o.d"
+  "fig4_cusum_cdf"
+  "fig4_cusum_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cusum_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_switch_encrypted.dir/sec56_switch_encrypted.cpp.o"
+  "CMakeFiles/sec56_switch_encrypted.dir/sec56_switch_encrypted.cpp.o.d"
+  "sec56_switch_encrypted"
+  "sec56_switch_encrypted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_switch_encrypted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

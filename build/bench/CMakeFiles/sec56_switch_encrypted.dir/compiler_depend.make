@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec56_switch_encrypted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec56_switch_encrypted.
+# This may be replaced when dependencies are built.

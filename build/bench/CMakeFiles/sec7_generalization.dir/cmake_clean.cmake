@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_generalization.dir/sec7_generalization.cpp.o"
+  "CMakeFiles/sec7_generalization.dir/sec7_generalization.cpp.o.d"
+  "sec7_generalization"
+  "sec7_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

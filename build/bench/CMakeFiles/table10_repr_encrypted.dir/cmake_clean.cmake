@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_repr_encrypted.dir/table10_repr_encrypted.cpp.o"
+  "CMakeFiles/table10_repr_encrypted.dir/table10_repr_encrypted.cpp.o.d"
+  "table10_repr_encrypted"
+  "table10_repr_encrypted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_repr_encrypted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

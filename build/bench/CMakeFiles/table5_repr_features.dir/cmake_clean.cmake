@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_repr_features.dir/table5_repr_features.cpp.o"
+  "CMakeFiles/table5_repr_features.dir/table5_repr_features.cpp.o.d"
+  "table5_repr_features"
+  "table5_repr_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_repr_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_repr_model.dir/table6_repr_model.cpp.o"
+  "CMakeFiles/table6_repr_model.dir/table6_repr_model.cpp.o.d"
+  "table6_repr_model"
+  "table6_repr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_repr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_repr_model.
+# This may be replaced when dependencies are built.

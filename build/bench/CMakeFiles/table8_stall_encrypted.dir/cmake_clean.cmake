@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_stall_encrypted.dir/table8_stall_encrypted.cpp.o"
+  "CMakeFiles/table8_stall_encrypted.dir/table8_stall_encrypted.cpp.o.d"
+  "table8_stall_encrypted"
+  "table8_stall_encrypted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_stall_encrypted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_comparison.dir/abr_comparison.cpp.o"
+  "CMakeFiles/abr_comparison.dir/abr_comparison.cpp.o.d"
+  "abr_comparison"
+  "abr_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

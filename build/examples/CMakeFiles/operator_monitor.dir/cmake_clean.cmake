@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_monitor.dir/operator_monitor.cpp.o"
+  "CMakeFiles/operator_monitor.dir/operator_monitor.cpp.o.d"
+  "operator_monitor"
+  "operator_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detectors.cpp" "src/core/CMakeFiles/vqoe_core.dir/detectors.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/detectors.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/vqoe_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/labels.cpp" "src/core/CMakeFiles/vqoe_core.dir/labels.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/labels.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/vqoe_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/mos.cpp" "src/core/CMakeFiles/vqoe_core.dir/mos.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/mos.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/vqoe_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/vqoe_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/startup.cpp" "src/core/CMakeFiles/vqoe_core.dir/startup.cpp.o" "gcc" "src/core/CMakeFiles/vqoe_core.dir/startup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/vqoe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/vqoe_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vqoe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/vqoe_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vqoe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/vqoe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vqoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vqoe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_core.dir/detectors.cpp.o"
+  "CMakeFiles/vqoe_core.dir/detectors.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/features.cpp.o"
+  "CMakeFiles/vqoe_core.dir/features.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/labels.cpp.o"
+  "CMakeFiles/vqoe_core.dir/labels.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/model_io.cpp.o"
+  "CMakeFiles/vqoe_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/mos.cpp.o"
+  "CMakeFiles/vqoe_core.dir/mos.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/online.cpp.o"
+  "CMakeFiles/vqoe_core.dir/online.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/pipeline.cpp.o"
+  "CMakeFiles/vqoe_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vqoe_core.dir/startup.cpp.o"
+  "CMakeFiles/vqoe_core.dir/startup.cpp.o.d"
+  "libvqoe_core.a"
+  "libvqoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

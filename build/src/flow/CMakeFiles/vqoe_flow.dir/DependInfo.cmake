@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/export.cpp" "src/flow/CMakeFiles/vqoe_flow.dir/export.cpp.o" "gcc" "src/flow/CMakeFiles/vqoe_flow.dir/export.cpp.o.d"
+  "/root/repo/src/flow/reassembly.cpp" "src/flow/CMakeFiles/vqoe_flow.dir/reassembly.cpp.o" "gcc" "src/flow/CMakeFiles/vqoe_flow.dir/reassembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vqoe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vqoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vqoe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

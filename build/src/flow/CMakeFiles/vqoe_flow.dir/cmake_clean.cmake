@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_flow.dir/export.cpp.o"
+  "CMakeFiles/vqoe_flow.dir/export.cpp.o.d"
+  "CMakeFiles/vqoe_flow.dir/reassembly.cpp.o"
+  "CMakeFiles/vqoe_flow.dir/reassembly.cpp.o.d"
+  "libvqoe_flow.a"
+  "libvqoe_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/binning.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/binning.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/dataset.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/feature_selection.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/importance.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/importance.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/knn.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/metrics.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/vqoe_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/vqoe_ml.dir/random_forest.cpp.o.d"
+  "libvqoe_ml.a"
+  "libvqoe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

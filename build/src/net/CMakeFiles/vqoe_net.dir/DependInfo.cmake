@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cell.cpp" "src/net/CMakeFiles/vqoe_net.dir/cell.cpp.o" "gcc" "src/net/CMakeFiles/vqoe_net.dir/cell.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/vqoe_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/vqoe_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/profile.cpp" "src/net/CMakeFiles/vqoe_net.dir/profile.cpp.o" "gcc" "src/net/CMakeFiles/vqoe_net.dir/profile.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/vqoe_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/vqoe_net.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_net.dir/cell.cpp.o"
+  "CMakeFiles/vqoe_net.dir/cell.cpp.o.d"
+  "CMakeFiles/vqoe_net.dir/channel.cpp.o"
+  "CMakeFiles/vqoe_net.dir/channel.cpp.o.d"
+  "CMakeFiles/vqoe_net.dir/profile.cpp.o"
+  "CMakeFiles/vqoe_net.dir/profile.cpp.o.d"
+  "CMakeFiles/vqoe_net.dir/tcp.cpp.o"
+  "CMakeFiles/vqoe_net.dir/tcp.cpp.o.d"
+  "libvqoe_net.a"
+  "libvqoe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_session.dir/reconstruct.cpp.o"
+  "CMakeFiles/vqoe_session.dir/reconstruct.cpp.o.d"
+  "libvqoe_session.a"
+  "libvqoe_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/abr.cpp" "src/sim/CMakeFiles/vqoe_sim.dir/abr.cpp.o" "gcc" "src/sim/CMakeFiles/vqoe_sim.dir/abr.cpp.o.d"
+  "/root/repo/src/sim/player.cpp" "src/sim/CMakeFiles/vqoe_sim.dir/player.cpp.o" "gcc" "src/sim/CMakeFiles/vqoe_sim.dir/player.cpp.o.d"
+  "/root/repo/src/sim/video.cpp" "src/sim/CMakeFiles/vqoe_sim.dir/video.cpp.o" "gcc" "src/sim/CMakeFiles/vqoe_sim.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vqoe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_sim.dir/abr.cpp.o"
+  "CMakeFiles/vqoe_sim.dir/abr.cpp.o.d"
+  "CMakeFiles/vqoe_sim.dir/player.cpp.o"
+  "CMakeFiles/vqoe_sim.dir/player.cpp.o.d"
+  "CMakeFiles/vqoe_sim.dir/video.cpp.o"
+  "CMakeFiles/vqoe_sim.dir/video.cpp.o.d"
+  "libvqoe_sim.a"
+  "libvqoe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

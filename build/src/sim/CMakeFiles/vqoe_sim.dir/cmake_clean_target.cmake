@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqoe_sim.a"
+)

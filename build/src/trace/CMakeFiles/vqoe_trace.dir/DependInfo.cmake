@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/vqoe_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/vqoe_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/weblog.cpp" "src/trace/CMakeFiles/vqoe_trace.dir/weblog.cpp.o" "gcc" "src/trace/CMakeFiles/vqoe_trace.dir/weblog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vqoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vqoe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

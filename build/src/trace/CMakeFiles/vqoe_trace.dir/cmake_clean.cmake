@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_trace.dir/csv.cpp.o"
+  "CMakeFiles/vqoe_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/vqoe_trace.dir/weblog.cpp.o"
+  "CMakeFiles/vqoe_trace.dir/weblog.cpp.o.d"
+  "libvqoe_trace.a"
+  "libvqoe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

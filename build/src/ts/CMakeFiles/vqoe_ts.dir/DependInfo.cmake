@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/cusum.cpp" "src/ts/CMakeFiles/vqoe_ts.dir/cusum.cpp.o" "gcc" "src/ts/CMakeFiles/vqoe_ts.dir/cusum.cpp.o.d"
+  "/root/repo/src/ts/ecdf.cpp" "src/ts/CMakeFiles/vqoe_ts.dir/ecdf.cpp.o" "gcc" "src/ts/CMakeFiles/vqoe_ts.dir/ecdf.cpp.o.d"
+  "/root/repo/src/ts/online.cpp" "src/ts/CMakeFiles/vqoe_ts.dir/online.cpp.o" "gcc" "src/ts/CMakeFiles/vqoe_ts.dir/online.cpp.o.d"
+  "/root/repo/src/ts/summary.cpp" "src/ts/CMakeFiles/vqoe_ts.dir/summary.cpp.o" "gcc" "src/ts/CMakeFiles/vqoe_ts.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_ts.dir/cusum.cpp.o"
+  "CMakeFiles/vqoe_ts.dir/cusum.cpp.o.d"
+  "CMakeFiles/vqoe_ts.dir/ecdf.cpp.o"
+  "CMakeFiles/vqoe_ts.dir/ecdf.cpp.o.d"
+  "CMakeFiles/vqoe_ts.dir/online.cpp.o"
+  "CMakeFiles/vqoe_ts.dir/online.cpp.o.d"
+  "CMakeFiles/vqoe_ts.dir/summary.cpp.o"
+  "CMakeFiles/vqoe_ts.dir/summary.cpp.o.d"
+  "libvqoe_ts.a"
+  "libvqoe_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_workload.dir/corpus.cpp.o"
+  "CMakeFiles/vqoe_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/vqoe_workload.dir/service.cpp.o"
+  "CMakeFiles/vqoe_workload.dir/service.cpp.o.d"
+  "libvqoe_workload.a"
+  "libvqoe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/detectors_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/detectors_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/feature_properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/feature_properties_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/features_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/labels_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/labels_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/model_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/model_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mos_properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mos_properties_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mos_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mos_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/online_service_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/online_service_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/online_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/online_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/startup_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/startup_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_tests.dir/flow/export_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/export_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/reassembly_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/reassembly_test.cpp.o.d"
+  "flow_tests"
+  "flow_tests.pdb"
+  "flow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/adaboost_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/adaboost_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/adaboost_test.cpp.o.d"
+  "/root/repo/tests/ml/binning_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/binning_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/binning_test.cpp.o.d"
+  "/root/repo/tests/ml/cross_validation_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/feature_selection_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o.d"
+  "/root/repo/tests/ml/forest_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o.d"
+  "/root/repo/tests/ml/importance_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/model_io_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/model_io_test.cpp.o.d"
+  "/root/repo/tests/ml/naive_bayes_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/naive_bayes_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/naive_bayes_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_text_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/tree_text_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/tree_text_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vqoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vqoe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/vqoe_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/vqoe_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vqoe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/vqoe_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vqoe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vqoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vqoe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/adaboost_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/adaboost_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/binning_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/binning_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/cross_validation_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/cross_validation_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/feature_selection_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/forest_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/importance_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/model_io_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/model_io_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/naive_bayes_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/naive_bayes_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/tree_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/tree_text_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/tree_text_test.cpp.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

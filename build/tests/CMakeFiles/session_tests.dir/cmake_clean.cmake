@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_tests.dir/session/reconstruct_test.cpp.o"
+  "CMakeFiles/session_tests.dir/session/reconstruct_test.cpp.o.d"
+  "session_tests"
+  "session_tests.pdb"
+  "session_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

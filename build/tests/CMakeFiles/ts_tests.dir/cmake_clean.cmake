@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_tests.dir/ts/cusum_test.cpp.o"
+  "CMakeFiles/ts_tests.dir/ts/cusum_test.cpp.o.d"
+  "CMakeFiles/ts_tests.dir/ts/ecdf_test.cpp.o"
+  "CMakeFiles/ts_tests.dir/ts/ecdf_test.cpp.o.d"
+  "CMakeFiles/ts_tests.dir/ts/online_test.cpp.o"
+  "CMakeFiles/ts_tests.dir/ts/online_test.cpp.o.d"
+  "CMakeFiles/ts_tests.dir/ts/summary_test.cpp.o"
+  "CMakeFiles/ts_tests.dir/ts/summary_test.cpp.o.d"
+  "ts_tests"
+  "ts_tests.pdb"
+  "ts_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

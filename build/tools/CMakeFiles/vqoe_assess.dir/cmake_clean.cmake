@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_assess.dir/vqoe_assess.cpp.o"
+  "CMakeFiles/vqoe_assess.dir/vqoe_assess.cpp.o.d"
+  "vqoe_assess"
+  "vqoe_assess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_assess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqoe_train.dir/vqoe_train.cpp.o"
+  "CMakeFiles/vqoe_train.dir/vqoe_train.cpp.o.d"
+  "vqoe_train"
+  "vqoe_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqoe_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
