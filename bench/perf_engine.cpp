@@ -1,0 +1,113 @@
+// Engine throughput benchmarks (google-benchmark, same JSON shape as
+// perf_pipeline via --benchmark_format=json): records/sec of the sharded
+// MonitorEngine at 1/2/4/8 shards against the single-threaded
+// OnlineMonitor baseline, plus the raw SPSC ring transfer rate.
+//
+// This backs the ISSUE-1 scaling claim: the per-record monitor work
+// (session bookkeeping + model inference at close) is what bounds a
+// single ingest thread, and hash-sharding by subscriber parallelizes it
+// without giving up the per-subscriber ordering the monitor needs.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "vqoe/core/online.h"
+#include "vqoe/engine/engine.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+using namespace vqoe;
+
+const core::QoePipeline& trained_pipeline() {
+  static const auto pipeline = [] {
+    auto options = workload::has_corpus_options(400, 42);
+    options.keep_session_results = false;
+    return core::QoePipeline::train(
+        core::sessions_from_corpus(workload::generate_corpus(options)));
+  }();
+  return pipeline;
+}
+
+/// A multi-subscriber encrypted day of traffic — the operator's live feed.
+const std::vector<trace::WeblogRecord>& live_records() {
+  static const auto records = [] {
+    auto options = workload::cleartext_corpus_options(800, 99);
+    options.adaptive_fraction = 1.0;
+    options.subscribers = 64;
+    options.keep_session_results = false;
+    return trace::encrypt_view(workload::generate_corpus(options).weblogs);
+  }();
+  return records;
+}
+
+void BM_SingleThreadedMonitor(benchmark::State& state) {
+  const auto& records = live_records();
+  for (auto _ : state) {
+    core::OnlineMonitor monitor{trained_pipeline()};
+    std::size_t completed = 0;
+    for (const auto& record : records) completed += monitor.ingest(record).size();
+    completed += monitor.flush().size();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_SingleThreadedMonitor)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EngineThroughput(benchmark::State& state) {
+  const auto& records = live_records();
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    engine::EngineConfig config;
+    config.shards = static_cast<std::size_t>(state.range(0));
+    config.queue_capacity = 4096;
+    config.backpressure = engine::BackpressurePolicy::Block;
+    engine::MonitorEngine eng{trained_pipeline(), config};
+    for (const auto& record : records) eng.ingest(record);
+    completed += eng.drain().size();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+  state.counters["shards"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EngineThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Raw ring transfer rate: how fast the ingest channel itself moves items
+/// (upper bound on per-shard routing throughput).
+void BM_SpscQueueTransfer(benchmark::State& state) {
+  constexpr std::size_t kBatch = 1 << 16;
+  for (auto _ : state) {
+    engine::SpscQueue<std::uint64_t> queue(1024);
+    std::thread consumer([&queue] {
+      std::uint64_t value = 0;
+      std::size_t seen = 0;
+      while (seen < kBatch) {
+        if (queue.try_pop(value)) {
+          ++seen;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      std::uint64_t value = i;
+      while (!queue.try_push(std::move(value))) std::this_thread::yield();
+    }
+    consumer.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_SpscQueueTransfer)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

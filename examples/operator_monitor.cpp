@@ -6,10 +6,13 @@
 //      and persists the models to disk (train once, deploy many),
 //   2. reloads the models on the "monitoring host",
 //   3. streams a day of encrypted traffic record-by-record through the
-//      OnlineMonitor, which recovers session boundaries incrementally
-//      (domain filter + page markers + idle gaps — no URIs, no session IDs)
-//      and emits a QoE report the moment each session ends,
-//   4. prints a per-subscriber QoE dashboard.
+//      sharded MonitorEngine: records are hash-partitioned by subscriber
+//      onto four OnlineMonitor shards, session boundaries are recovered
+//      incrementally (domain filter + page markers + idle gaps — no URIs,
+//      no session IDs) in parallel, and completed QoE reports are
+//      harvested while the stream is still flowing,
+//   4. prints a per-subscriber QoE dashboard plus the engine's shard
+//      statistics.
 //
 // Build & run:  ./build/examples/operator_monitor
 #include <cstdio>
@@ -17,8 +20,8 @@
 #include <map>
 
 #include "vqoe/core/model_io.h"
-#include "vqoe/core/online.h"
 #include "vqoe/core/pipeline.h"
+#include "vqoe/engine/engine.h"
 #include "vqoe/trace/weblog.h"
 #include "vqoe/workload/corpus.h"
 
@@ -61,9 +64,10 @@ int main() {
   };
   std::map<std::string, SubscriberStats> per_subscriber;
 
-  core::OnlineMonitorConfig monitor_config;
-  monitor_config.min_chunks = 3;
-  core::OnlineMonitor monitor{pipeline, monitor_config};
+  engine::EngineConfig engine_config;
+  engine_config.shards = 4;
+  engine_config.monitor.min_chunks = 3;
+  engine::MonitorEngine monitor{pipeline, engine_config};
 
   auto account = [&](const core::CompletedSession& s) {
     SubscriberStats& stats = per_subscriber[s.subscriber_id];
@@ -74,13 +78,39 @@ int main() {
     if (s.report.quality_switches) stats.switching++;
   };
 
+  // Harvest completed sessions while the stream is still flowing — the
+  // "report issues in real time" shape of Section 8.
+  std::size_t fed = 0;
+  std::size_t harvested_live = 0;
   for (const trace::WeblogRecord& record : encrypted) {
-    for (const auto& done : monitor.ingest(record)) account(done);
+    monitor.ingest(record);
+    if (++fed % 4096 == 0) {
+      for (const auto& done : monitor.harvest()) {
+        account(done);
+        ++harvested_live;
+      }
+    }
   }
-  for (const auto& done : monitor.flush()) account(done);
-  std::printf("  online monitor reported %zu sessions "
-              "(ground truth: %zu launched)\n\n",
-              monitor.sessions_reported(), live.truths.size());
+  for (const auto& done : monitor.drain()) account(done);
+
+  const engine::EngineStats engine_stats = monitor.stats();
+  std::printf("  engine reported %llu sessions over %zu shards, %llu "
+              "harvested mid-stream (ground truth: %zu launched)\n",
+              static_cast<unsigned long long>(engine_stats.sessions_reported),
+              monitor.shard_count(),
+              static_cast<unsigned long long>(harvested_live),
+              live.truths.size());
+  for (std::size_t i = 0; i < engine_stats.shards.size(); ++i) {
+    const auto& s = engine_stats.shards[i];
+    std::printf("    shard %zu: %llu records, %llu sessions, %.1f us/record "
+                "in monitor\n",
+                i, static_cast<unsigned long long>(s.records_out),
+                static_cast<unsigned long long>(s.sessions_reported),
+                s.records_out ? 1e-3 * static_cast<double>(s.ingest_ns) /
+                                    static_cast<double>(s.records_out)
+                              : 0.0);
+  }
+  std::printf("\n");
 
   std::printf("%-10s %-9s %-9s %-9s %-6s %-10s %s\n", "subscriber", "sessions",
               "stalled", "severe", "LD", "switching", "flag");

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "vqoe/core/pipeline.h"
@@ -38,8 +40,18 @@ struct CompletedSession {
   QoeReport report;
 };
 
+/// Transparent string hashing so open-session lookups can take a
+/// string_view (no per-record std::string construction on the hot path).
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Incremental reconstruction + assessment over a live record stream.
-/// Not thread-safe; shard by subscriber for parallel deployments.
+/// Not thread-safe; engine::MonitorEngine shards by subscriber for
+/// parallel deployments.
 class OnlineMonitor {
  public:
   /// @param pipeline trained detectors; borrowed, must outlive the monitor.
@@ -71,11 +83,13 @@ class OnlineMonitor {
   };
 
   /// Closes one subscriber's open session, emitting it when large enough.
-  void close(const std::string& subscriber, std::vector<CompletedSession>& out);
+  void close(std::string_view subscriber, std::vector<CompletedSession>& out);
 
   const QoePipeline& pipeline_;
   OnlineMonitorConfig config_;
-  std::map<std::string, OpenSession> open_;
+  std::unordered_map<std::string, OpenSession, TransparentStringHash,
+                     std::equal_to<>>
+      open_;
   std::size_t reported_ = 0;
   std::size_t discarded_ = 0;
 };

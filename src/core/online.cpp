@@ -8,18 +8,18 @@ OnlineMonitor::OnlineMonitor(const QoePipeline& pipeline,
                              OnlineMonitorConfig config)
     : pipeline_(pipeline), config_(config) {}
 
-void OnlineMonitor::close(const std::string& subscriber,
+void OnlineMonitor::close(std::string_view subscriber,
                           std::vector<CompletedSession>& out) {
   const auto it = open_.find(subscriber);
   if (it == open_.end()) return;
-  OpenSession session = std::move(it->second);
-  open_.erase(it);
+  auto node = open_.extract(it);
+  const OpenSession& session = node.mapped();
   if (session.chunks.size() < config_.min_chunks || !session.saw_media) {
     ++discarded_;
     return;
   }
   CompletedSession done;
-  done.subscriber_id = subscriber;
+  done.subscriber_id = std::move(node.key());
   done.start_time_s = session.start_time_s;
   done.end_time_s = session.last_activity_s;
   done.chunk_count = session.chunks.size();

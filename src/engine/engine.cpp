@@ -1,0 +1,196 @@
+#include "vqoe/engine/engine.h"
+
+#include <chrono>
+
+namespace vqoe::engine {
+namespace {
+
+/// Short yield-then-sleep backoff for both queue sides. The first rounds
+/// stay on-CPU (the opposite side is usually a few hundred ns away); after
+/// that the thread parks briefly so an idle engine does not spin cores.
+inline void backoff(std::size_t& idle_rounds) {
+  if (++idle_rounds < 64) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace
+
+MonitorEngine::MonitorEngine(const core::QoePipeline& pipeline,
+                             EngineConfig config)
+    : config_(config), router_(config.shards) {
+  shards_.reserve(router_.shards());
+  for (std::size_t i = 0; i < router_.shards(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(pipeline, config_.monitor,
+                                              config_.queue_capacity));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+  }
+}
+
+MonitorEngine::~MonitorEngine() { stop_workers(); }
+
+void MonitorEngine::push_blocking(Shard& shard, Item&& item) {
+  std::size_t idle_rounds = 0;
+  while (!shard.queue.try_push(std::move(item))) backoff(idle_rounds);
+}
+
+bool MonitorEngine::ingest(const trace::WeblogRecord& record) {
+  if (stopped_) return false;
+  maybe_watermark(record.timestamp_s);
+
+  Shard& shard = *shards_[router_.shard_of(record.subscriber_id)];
+  shard.records_in.fetch_add(1, std::memory_order_relaxed);
+
+  Item item;
+  item.kind = Item::Kind::record;
+  item.record = record;
+  if (config_.backpressure == BackpressurePolicy::Block) {
+    push_blocking(shard, std::move(item));
+    return true;
+  }
+  if (shard.queue.try_push(std::move(item))) return true;
+  shard.dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void MonitorEngine::maybe_watermark(double now_s) {
+  if (config_.watermark_interval_s <= 0.0) return;
+  if (!saw_record_) {
+    saw_record_ = true;
+    last_watermark_s_ = now_s;
+    return;
+  }
+  if (now_s - last_watermark_s_ < config_.watermark_interval_s) return;
+  last_watermark_s_ = now_s;
+  // The stream is globally time-sorted, so `now_s` lower-bounds every
+  // future record: broadcasting it cannot close a session a later record
+  // would still extend (advance_to uses a strict idle-gap comparison).
+  for (auto& shard : shards_) {
+    Item tick;
+    tick.kind = Item::Kind::watermark;
+    tick.watermark_s = now_s;
+    if (config_.backpressure == BackpressurePolicy::Block) {
+      push_blocking(*shard, std::move(tick));
+    } else {
+      // Advisory under DropNewest: a full shard is not idle anyway.
+      (void)shard->queue.try_push(std::move(tick));
+    }
+  }
+}
+
+void MonitorEngine::advance_to(double now_s) {
+  if (stopped_) return;
+  for (auto& shard : shards_) {
+    Item tick;
+    tick.kind = Item::Kind::watermark;
+    tick.watermark_s = now_s;
+    push_blocking(*shard, std::move(tick));
+  }
+}
+
+void MonitorEngine::publish(Shard& shard,
+                            std::vector<core::CompletedSession>&& done) {
+  if (!done.empty()) {
+    const std::lock_guard<std::mutex> lock(shard.out_mutex);
+    shard.out.insert(shard.out.end(), std::make_move_iterator(done.begin()),
+                     std::make_move_iterator(done.end()));
+  }
+  shard.sessions_reported.store(shard.monitor.sessions_reported(),
+                                std::memory_order_relaxed);
+  shard.sessions_discarded.store(shard.monitor.sessions_discarded(),
+                                 std::memory_order_relaxed);
+}
+
+void MonitorEngine::worker_loop(Shard& shard) {
+  using clock = std::chrono::steady_clock;
+  Item item;
+  std::size_t idle_rounds = 0;
+  for (;;) {
+    if (!shard.queue.try_pop(item)) {
+      backoff(idle_rounds);
+      continue;
+    }
+    idle_rounds = 0;
+    switch (item.kind) {
+      case Item::Kind::record: {
+        const auto t0 = clock::now();
+        auto done = shard.monitor.ingest(item.record);
+        const auto t1 = clock::now();
+        shard.ingest_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()),
+            std::memory_order_relaxed);
+        shard.records_out.fetch_add(1, std::memory_order_relaxed);
+        publish(shard, std::move(done));
+        break;
+      }
+      case Item::Kind::watermark:
+        publish(shard, shard.monitor.advance_to(item.watermark_s));
+        break;
+      case Item::Kind::stop:
+        publish(shard, shard.monitor.flush());
+        return;
+    }
+  }
+}
+
+std::vector<core::CompletedSession> MonitorEngine::harvest() {
+  std::vector<core::CompletedSession> all;
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->out_mutex);
+    all.insert(all.end(), std::make_move_iterator(shard->out.begin()),
+               std::make_move_iterator(shard->out.end()));
+    shard->out.clear();
+  }
+  return all;
+}
+
+void MonitorEngine::stop_workers() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) {
+    Item stop;
+    stop.kind = Item::Kind::stop;
+    push_blocking(*shard, std::move(stop));
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::vector<core::CompletedSession> MonitorEngine::drain() {
+  stop_workers();
+  return harvest();
+}
+
+EngineStats MonitorEngine::stats() const {
+  EngineStats total;
+  total.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.records_in = shard->records_in.load(std::memory_order_relaxed);
+    s.records_out = shard->records_out.load(std::memory_order_relaxed);
+    s.dropped = shard->dropped.load(std::memory_order_relaxed);
+    s.sessions_reported =
+        shard->sessions_reported.load(std::memory_order_relaxed);
+    s.sessions_discarded =
+        shard->sessions_discarded.load(std::memory_order_relaxed);
+    s.ingest_ns = shard->ingest_ns.load(std::memory_order_relaxed);
+    s.queue_depth = shard->queue.size();
+    total.records_in += s.records_in;
+    total.records_out += s.records_out;
+    total.dropped += s.dropped;
+    total.sessions_reported += s.sessions_reported;
+    total.sessions_discarded += s.sessions_discarded;
+    total.shards.push_back(s);
+  }
+  return total;
+}
+
+}  // namespace vqoe::engine

@@ -1,0 +1,184 @@
+// Sharded multi-threaded real-time QoE monitoring engine.
+//
+// Section 8 of the paper puts the trained models on an operator's passive
+// monitoring path, reporting issues in real time. core::OnlineMonitor is
+// the single-threaded unit of that deployment; MonitorEngine scales it to
+// the multi-gigabit ingest a large subscriber base produces by running N
+// monitor shards behind one ingest API:
+//
+//   * records are hash-partitioned by subscriber id (ShardRouter), so each
+//     subscriber's records stay in arrival order on one shard while shards
+//     run independently — the per-subscriber ordering invariant the
+//     monitor requires is preserved by construction;
+//   * each shard owns a bounded SPSC ring (spsc_queue.h) fed by the ingest
+//     thread and drained by a dedicated worker into the shard's
+//     OnlineMonitor; completed sessions accumulate in a per-shard output
+//     buffer the caller harvests at its own pace;
+//   * a watermark clock rides the ingest stream: because the feed is
+//     globally time-sorted, the last ingested timestamp lower-bounds every
+//     future record, and broadcasting it as advance_to() ticks lets idle
+//     shards close gapped sessions without waiting for their own traffic;
+//   * backpressure is explicit: Block stalls the ingest thread until the
+//     shard queue has space, DropNewest sheds the incoming record and
+//     counts it in the shard's drop counter.
+//
+// Determinism: with the Block policy, the multiset of CompletedSession
+// reports equals what a single sequential OnlineMonitor emits over the
+// same records — a tested invariant (tests/engine/engine_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "vqoe/core/online.h"
+#include "vqoe/engine/spsc_queue.h"
+
+namespace vqoe::engine {
+
+/// What ingest() does when a shard's queue is full.
+enum class BackpressurePolicy : std::uint8_t {
+  Block,       ///< wait for the worker to free a slot (lossless)
+  DropNewest,  ///< discard the incoming record, counting the drop
+};
+
+struct EngineConfig {
+  /// Number of monitor shards (= worker threads). 0 is clamped to 1.
+  std::size_t shards = 4;
+  /// Per-shard queue capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::Block;
+  /// Stream-time between automatic watermark broadcasts; <= 0 disables the
+  /// clock (sessions then close only on same-shard traffic or drain()).
+  double watermark_interval_s = 5.0;
+  /// Configuration applied to every shard's OnlineMonitor.
+  core::OnlineMonitorConfig monitor;
+};
+
+/// Per-shard counters. Snapshot values; the engine keeps running while you
+/// read them.
+struct ShardStats {
+  std::uint64_t records_in = 0;       ///< routed to this shard (incl. dropped)
+  std::uint64_t records_out = 0;      ///< ingested by the shard's monitor
+  std::uint64_t dropped = 0;          ///< shed under DropNewest
+  std::uint64_t sessions_reported = 0;
+  std::uint64_t sessions_discarded = 0;
+  std::uint64_t ingest_ns = 0;        ///< worker time spent inside the monitor
+  std::size_t queue_depth = 0;        ///< approximate current occupancy
+};
+
+/// Engine-wide snapshot: totals plus the per-shard breakdown.
+struct EngineStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t sessions_reported = 0;
+  std::uint64_t sessions_discarded = 0;
+  std::vector<ShardStats> shards;
+};
+
+/// Stable hash partitioning of subscribers onto shards (FNV-1a, so the
+/// mapping does not depend on the standard library's std::hash).
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+  [[nodiscard]] std::size_t shard_of(std::string_view subscriber) const {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const unsigned char c : subscriber) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h % shards_);
+  }
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+ private:
+  std::size_t shards_;
+};
+
+/// N OnlineMonitor shards behind one ingest API. The ingest-side methods
+/// (ingest, advance_to, drain) must be called from one thread at a time;
+/// harvest() and stats() may be called concurrently from any thread.
+class MonitorEngine {
+ public:
+  /// @param pipeline trained detectors; borrowed, must outlive the engine.
+  explicit MonitorEngine(const core::QoePipeline& pipeline,
+                         EngineConfig config = {});
+  ~MonitorEngine();
+
+  MonitorEngine(const MonitorEngine&) = delete;
+  MonitorEngine& operator=(const MonitorEngine&) = delete;
+
+  /// Routes one record to its subscriber's shard. Records must arrive in
+  /// non-decreasing timestamp order. Returns false when the record was
+  /// shed (DropNewest with a full queue) or the engine is already drained.
+  bool ingest(const trace::WeblogRecord& record);
+
+  /// Broadcasts a watermark tick to every shard: sessions idle past the
+  /// gap at `now_s` close without further traffic. Never sheds the tick.
+  void advance_to(double now_s);
+
+  /// Takes every session completed so far. Non-blocking; call at any pace.
+  [[nodiscard]] std::vector<core::CompletedSession> harvest();
+
+  /// End of stream: drains all queues, flushes every shard's open
+  /// sessions, joins the workers, and returns the remaining completed
+  /// sessions (everything not already harvested). The engine accepts no
+  /// records afterwards.
+  std::vector<core::CompletedSession> drain();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const ShardRouter& router() const { return router_; }
+
+ private:
+  struct Item {
+    enum class Kind : std::uint8_t { record, watermark, stop };
+    Kind kind = Kind::record;
+    double watermark_s = 0.0;
+    trace::WeblogRecord record;
+  };
+
+  struct Shard {
+    Shard(const core::QoePipeline& pipeline,
+          const core::OnlineMonitorConfig& monitor_config,
+          std::size_t queue_capacity)
+        : queue(queue_capacity), monitor(pipeline, monitor_config) {}
+
+    SpscQueue<Item> queue;
+    core::OnlineMonitor monitor;  ///< touched by the worker thread only
+
+    std::mutex out_mutex;
+    std::vector<core::CompletedSession> out;
+
+    std::atomic<std::uint64_t> records_in{0};
+    std::atomic<std::uint64_t> records_out{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> sessions_reported{0};
+    std::atomic<std::uint64_t> sessions_discarded{0};
+    std::atomic<std::uint64_t> ingest_ns{0};
+
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void publish(Shard& shard, std::vector<core::CompletedSession>&& done);
+  static void push_blocking(Shard& shard, Item&& item);
+  void maybe_watermark(double now_s);
+  void stop_workers();
+
+  EngineConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool saw_record_ = false;
+  double last_watermark_s_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace vqoe::engine

@@ -1,0 +1,88 @@
+// Bounded single-producer / single-consumer ring queue.
+//
+// The engine's per-shard ingest channel: the router thread pushes, exactly
+// one shard worker pops. Correctness rests on the classic SPSC protocol —
+// the producer owns `tail_`, the consumer owns `head_`, and each side
+// publishes its index with a release store that the other side reads with
+// an acquire load. Each index (and each side's cached copy of the opposite
+// index) lives on its own cache line so the two threads do not false-share.
+//
+// Capacity is rounded up to a power of two so slot addressing is a mask,
+// and indices are free-running (they wrap the full size_t range; the
+// difference `tail - head` is the occupancy even across wraparound).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vqoe::engine {
+
+/// Cache-line size used for index padding. 64 bytes covers x86-64 and most
+/// AArch64 parts; over-alignment is harmless where the line is smaller.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// @param min_capacity smallest acceptable capacity; rounded up to a
+  ///        power of two (and to at least 2).
+  explicit SpscQueue(std::size_t min_capacity) {
+    std::size_t capacity = 2;
+    while (capacity < min_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false (value untouched) when the queue is full.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false (out untouched) when the queue is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy — racy by construction, for stats/monitoring
+  /// only (either side may move between the two loads).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Consumer-owned index + its cached view of the producer index.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineBytes) std::size_t tail_cache_ = 0;
+  /// Producer-owned index + its cached view of the consumer index.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLineBytes) std::size_t head_cache_ = 0;
+};
+
+}  // namespace vqoe::engine

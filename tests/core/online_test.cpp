@@ -118,6 +118,46 @@ TEST_F(OnlineMonitorTest, AdvanceToFlushesIdleSessions) {
   EXPECT_FALSE(done.empty());
 }
 
+// The engine's watermark clock broadcasts advance_to(last ingest ts). A
+// tick landing exactly on last_activity + idle_gap must NOT close the
+// session, because a record at that same timestamp would still extend it
+// (ingest splits only on a STRICTLY larger gap) — otherwise the engine
+// would diverge from the sequential monitor at the boundary.
+TEST_F(OnlineMonitorTest, AdvanceToBoundaryTickKeepsExtendableSession) {
+  const double gap = OnlineMonitorConfig{}.reconstruction.idle_gap_s;
+  auto media = [](double t_s) {
+    trace::WeblogRecord r;
+    r.subscriber_id = "s";
+    r.timestamp_s = t_s;
+    r.transaction_time_s = 0.0;
+    r.object_size_bytes = 900'000;
+    r.host = "r3---sn-h5q7dne7.googlevideo.com";
+    r.kind = trace::RecordKind::media;
+    return r;
+  };
+
+  OnlineMonitor monitor{*pipeline_};
+  EXPECT_TRUE(monitor.ingest(media(0.0)).empty());
+  // Tick exactly at the gap boundary: session must survive...
+  EXPECT_TRUE(monitor.advance_to(gap).empty());
+  EXPECT_EQ(monitor.open_sessions(), 1u);
+  // ...so a same-timestamp record extends it rather than opening a new one.
+  EXPECT_TRUE(monitor.ingest(media(gap)).empty());
+  EXPECT_EQ(monitor.open_sessions(), 1u);
+  const auto done = monitor.flush();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done.front().chunk_count, 2u);
+
+  // Strictly past the boundary the tick does close the session, exactly as
+  // an ingest-side gap split would.
+  OnlineMonitor late{*pipeline_};
+  EXPECT_TRUE(late.ingest(media(0.0)).empty());
+  const auto closed = late.advance_to(gap + 1e-6);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed.front().chunk_count, 1u);
+  EXPECT_EQ(late.open_sessions(), 0u);
+}
+
 TEST_F(OnlineMonitorTest, MinChunksDiscardsNoise) {
   OnlineMonitorConfig config;
   config.min_chunks = 1000000;  // nothing qualifies

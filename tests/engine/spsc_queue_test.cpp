@@ -1,0 +1,89 @@
+#include "vqoe/engine/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace vqoe::engine {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscQueue, FifoFillAndDrain) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(int{i}));
+  EXPECT_EQ(queue.size(), 8u);
+  int rejected = 99;
+  EXPECT_FALSE(queue.try_push(std::move(rejected)));
+
+  int value = -1;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(queue.try_pop(value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_FALSE(queue.try_pop(value));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<std::uint64_t> queue(4);
+  std::uint64_t next_out = 0;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(queue.try_push(std::uint64_t{i}));
+    if (i % 3 == 2) {  // drain in uneven bursts to exercise the mask math
+      std::uint64_t value = 0;
+      while (queue.try_pop(value)) EXPECT_EQ(value, next_out++);
+    }
+  }
+  std::uint64_t value = 0;
+  while (queue.try_pop(value)) EXPECT_EQ(value, next_out++);
+  EXPECT_EQ(next_out, 10'000u);
+}
+
+TEST(SpscQueue, MovesOwnershipThroughTheRing) {
+  SpscQueue<std::vector<int>> queue(2);
+  ASSERT_TRUE(queue.try_push(std::vector<int>{1, 2, 3}));
+  std::vector<int> out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SpscQueue, TwoThreadStressLosslessAndOrdered) {
+  constexpr std::uint64_t kCount = 500'000;
+  SpscQueue<std::uint64_t> queue(64);
+
+  std::thread producer([&queue] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      std::uint64_t value = i;
+      while (!queue.try_push(std::move(value))) std::this_thread::yield();
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kCount) {
+    std::uint64_t value = 0;
+    if (!queue.try_pop(value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(value, expected);  // strict FIFO, nothing lost or duplicated
+    sum += value;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace vqoe::engine
