@@ -1,0 +1,49 @@
+// Shared google-benchmark entry point that makes every perf binary emit
+// machine-readable results by default: unless the caller already passed
+// --benchmark_out, results are also written as JSON to a fixed file
+// (BENCH_pipeline.json / BENCH_engine.json / BENCH_train.json) in the
+// working directory, so the perf trajectory is tracked across PRs without
+// remembering the flags. Console output is unchanged.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vqoe::bench {
+
+inline int run_benchmarks_with_default_json(int argc, char** argv,
+                                            const char* default_out) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    out_flag = std::string{"--benchmark_out="} + default_out;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vqoe::bench
+
+#define VQOE_BENCHMARK_MAIN_JSON(default_out)                                \
+  int main(int argc, char** argv) {                                          \
+    return vqoe::bench::run_benchmarks_with_default_json(argc, argv,         \
+                                                         default_out);       \
+  }

@@ -11,6 +11,7 @@
 
 #include <thread>
 
+#include "bench_json.h"
 #include "vqoe/core/online.h"
 #include "vqoe/engine/engine.h"
 #include "vqoe/workload/corpus.h"
@@ -110,4 +111,4 @@ BENCHMARK(BM_SpscQueueTransfer)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VQOE_BENCHMARK_MAIN_JSON("BENCH_engine.json")

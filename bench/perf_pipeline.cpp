@@ -7,7 +7,9 @@
 // issues in real time").
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "vqoe/core/detectors.h"
+#include "vqoe/par/parallel.h"
 #include "vqoe/core/features.h"
 #include "vqoe/core/pipeline.h"
 #include "vqoe/flow/export.h"
@@ -151,6 +153,7 @@ void BM_SimulateSession(benchmark::State& state) {
 BENCHMARK(BM_SimulateSession);
 
 void BM_ForestTraining(benchmark::State& state) {
+  par::set_threads(static_cast<int>(state.range(1)));
   std::vector<std::vector<core::ChunkObs>> chunks;
   std::vector<core::StallLabel> labels;
   for (const auto& s : training_sessions()) {
@@ -164,9 +167,14 @@ void BM_ForestTraining(benchmark::State& state) {
     config.forest.num_trees = static_cast<int>(state.range(0));
     benchmark::DoNotOptimize(core::StallDetector::train(data, config));
   }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  par::set_threads(0);
 }
-BENCHMARK(BM_ForestTraining)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForestTraining)
+    ->ArgsProduct({{10, 40}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VQOE_BENCHMARK_MAIN_JSON("BENCH_pipeline.json")

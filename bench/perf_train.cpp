@@ -1,0 +1,125 @@
+// Training-path scaling benchmarks (google-benchmark, JSON to
+// BENCH_train.json by default): RandomForest::fit, predict_all,
+// cross-validation and corpus generation at 1/2/4/8 vqoe::par threads on
+// the standard 1500-session corpus.
+//
+// The tracked number is the parallel-fit speedup over the 1-thread
+// baseline (ISSUE-2 acceptance: >= 3x at 8 threads on 8+ cores); outputs
+// are bit-identical at every thread count, so the speedup is free of any
+// quality trade-off.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+#include "vqoe/core/detectors.h"
+#include "vqoe/core/pipeline.h"
+#include "vqoe/ml/cross_validation.h"
+#include "vqoe/par/parallel.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+using namespace vqoe;
+
+const ml::Dataset& stall_dataset() {
+  static const auto data = [] {
+    auto options = workload::cleartext_corpus_options(1500, 42);
+    options.keep_session_results = false;
+    const auto sessions =
+        core::sessions_from_corpus(workload::generate_corpus(options));
+    std::vector<std::vector<core::ChunkObs>> chunks;
+    std::vector<core::StallLabel> labels;
+    for (const auto& s : sessions) {
+      chunks.push_back(s.chunks);
+      labels.push_back(core::stall_label(s.truth));
+    }
+    return core::build_stall_dataset(chunks, labels);
+  }();
+  return data;
+}
+
+void BM_ParallelForestFit(benchmark::State& state) {
+  par::set_threads(static_cast<int>(state.range(0)));
+  const auto& data = stall_dataset();
+  ml::ForestParams params;
+  params.num_trees = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::RandomForest::fit(data, params));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  par::set_threads(0);
+}
+BENCHMARK(BM_ParallelForestFit)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParallelPredictAll(benchmark::State& state) {
+  const auto& data = stall_dataset();
+  static const auto forest = [] {
+    ml::ForestParams params;
+    params.num_trees = 60;
+    return ml::RandomForest::fit(stall_dataset(), params);
+  }();
+  par::set_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_all(data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.rows()));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  par::set_threads(0);
+}
+BENCHMARK(BM_ParallelPredictAll)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelCrossValidation(benchmark::State& state) {
+  par::set_threads(static_cast<int>(state.range(0)));
+  const auto& data = stall_dataset();
+  ml::ForestParams params;
+  params.num_trees = 20;
+  ml::CrossValidationOptions options;
+  options.folds = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::cross_validate(data, params, options));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  par::set_threads(0);
+}
+BENCHMARK(BM_ParallelCrossValidation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParallelCorpusGeneration(benchmark::State& state) {
+  par::set_threads(static_cast<int>(state.range(0)));
+  auto options = workload::cleartext_corpus_options(300, 7);
+  options.keep_session_results = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate_corpus(options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(options.sessions));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  par::set_threads(0);
+}
+BENCHMARK(BM_ParallelCorpusGeneration)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+VQOE_BENCHMARK_MAIN_JSON("BENCH_train.json")

@@ -48,6 +48,12 @@ struct PipelineConfig {
   /// Train the representation detector only on adaptive sessions (the
   /// paper keeps HAS sessions for the representation/switch models).
   bool representation_adaptive_only = true;
+  /// Worker threads for forest training (vqoe::par pool). 0 leaves the
+  /// process-wide setting (VQOE_THREADS / par::set_threads) untouched;
+  /// any other value is applied via par::set_threads before training —
+  /// a process-wide override, since the pool is shared. 1 trains fully
+  /// sequentially. Results are identical for every value.
+  int threads = 0;
 };
 
 /// A session's assessed QoE.

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "vqoe/par/parallel.h"
 #include "vqoe/session/reconstruct.h"
 
 namespace vqoe::core {
@@ -53,6 +54,7 @@ QoePipeline QoePipeline::train(std::span<const SessionRecord> sessions,
   if (sessions.empty()) {
     throw std::invalid_argument{"QoePipeline::train: no sessions"};
   }
+  if (config.threads > 0) par::set_threads(config.threads);
 
   std::vector<std::vector<ChunkObs>> stall_sessions;
   std::vector<StallLabel> stall_labels;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "vqoe/par/parallel.h"
+
 namespace vqoe::ml {
 
 std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
@@ -32,23 +34,36 @@ ConfusionMatrix cross_validate_with(
   std::mt19937_64 rng{options.seed};
   const auto folds = stratified_folds(data, options.folds, rng);
 
+  // Folds are independent given the partition: each gets its own RNG
+  // stream (derived from the options seed and the fold index) for the
+  // balancing undersample, trains as a task on the vqoe::par pool, and
+  // the per-fold confusions are merged in fold order — so the accumulated
+  // matrix is identical for any thread count.
+  std::vector<ConfusionMatrix> fold_cms(folds.size(),
+                                        ConfusionMatrix{data.class_names()});
+  par::parallel_for(
+      0, folds.size(), 1, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          std::vector<std::size_t> train_idx;
+          for (std::size_t g = 0; g < folds.size(); ++g) {
+            if (g == f) continue;
+            train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
+          }
+          Dataset train_set = data.select_rows(train_idx);
+          if (options.balance_training) {
+            std::mt19937_64 fold_rng{par::derive_seed(options.seed, f)};
+            train_set = train_set.balanced_undersample(fold_rng);
+          }
+          if (train_set.empty()) continue;
+          const auto predictor = train(train_set);
+          for (std::size_t idx : folds[f]) {
+            fold_cms[f].add(data.label(idx), predictor(data.row(idx)));
+          }
+        }
+      });
+
   ConfusionMatrix cm{data.class_names()};
-  for (std::size_t f = 0; f < folds.size(); ++f) {
-    std::vector<std::size_t> train_idx;
-    for (std::size_t g = 0; g < folds.size(); ++g) {
-      if (g == f) continue;
-      train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
-    }
-    Dataset train_set = data.select_rows(train_idx);
-    if (options.balance_training) {
-      train_set = train_set.balanced_undersample(rng);
-    }
-    if (train_set.empty()) continue;
-    const auto predictor = train(train_set);
-    for (std::size_t idx : folds[f]) {
-      cm.add(data.label(idx), predictor(data.row(idx)));
-    }
-  }
+  for (const ConfusionMatrix& fold_cm : fold_cms) cm.merge(fold_cm);
   return cm;
 }
 

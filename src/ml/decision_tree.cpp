@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <ostream>
 #include <istream>
@@ -265,6 +266,15 @@ DecisionTree DecisionTree::load(std::istream& is) {
   if (!(is >> tag >> nodes >> probas >> classes >> importance) || tag != "tree") {
     throw std::runtime_error{"DecisionTree::load: bad header"};
   }
+  // A hand-edited model file must not be able to drive prediction into
+  // undefined behaviour: reject empty trees (predict dereferences the
+  // root) and any child / probability index that points outside the
+  // arrays being loaded.
+  if (nodes == 0) throw std::runtime_error{"DecisionTree::load: empty tree"};
+  if (classes == 0) throw std::runtime_error{"DecisionTree::load: zero classes"};
+  if (nodes > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::runtime_error{"DecisionTree::load: node count overflows index"};
+  }
   DecisionTree tree;
   tree.num_classes_ = classes;
   tree.nodes_.resize(nodes);
@@ -282,6 +292,21 @@ DecisionTree DecisionTree::load(std::istream& is) {
   for (double& v : tree.importance_) {
     if (!(is >> v)) {
       throw std::runtime_error{"DecisionTree::load: truncated importance"};
+    }
+  }
+  const auto node_limit = static_cast<std::int32_t>(nodes);
+  for (const Node& n : tree.nodes_) {
+    if (n.feature >= 0) {
+      if (n.left < 0 || n.left >= node_limit || n.right < 0 ||
+          n.right >= node_limit) {
+        throw std::runtime_error{"DecisionTree::load: child index out of range"};
+      }
+    } else {
+      if (n.proba_offset < 0 ||
+          static_cast<std::size_t>(n.proba_offset) + classes > probas) {
+        throw std::runtime_error{
+            "DecisionTree::load: leaf probability offset out of range"};
+      }
     }
   }
   return tree;

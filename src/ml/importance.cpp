@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "vqoe/par/parallel.h"
+
 namespace vqoe::ml {
 
 double predictor_accuracy(
@@ -26,25 +28,41 @@ std::vector<double> permutation_importance(
   const double baseline = predictor_accuracy(predict, data);
   std::vector<double> importance(data.cols(), 0.0);
 
-  std::vector<std::size_t> perm(data.rows());
-  std::vector<double> row(data.cols());
-  for (std::size_t col = 0; col < data.cols(); ++col) {
-    double drop = 0.0;
-    for (int r = 0; r < repeats; ++r) {
-      std::iota(perm.begin(), perm.end(), 0);
-      std::shuffle(perm.begin(), perm.end(), rng);
-      std::size_t correct = 0;
-      for (std::size_t i = 0; i < data.rows(); ++i) {
-        const auto original = data.row(i);
-        std::copy(original.begin(), original.end(), row.begin());
-        row[col] = data.at(perm[i], col);
-        if (predict(row) == data.label(i)) ++correct;
-      }
-      drop += baseline - static_cast<double>(correct) /
-                             static_cast<double>(data.rows());
-    }
-    importance[col] = drop / static_cast<double>(repeats);
+  // The permutations are drawn sequentially from the caller's RNG — in the
+  // same (column, repeat) order the sequential implementation used, so the
+  // caller-visible stream advances identically — and only the accuracy
+  // evaluation fans out per column. Per-column accuracy is an integer
+  // count, so the result is bit-identical for any thread count.
+  const auto n_repeats = static_cast<std::size_t>(repeats);
+  std::vector<std::vector<std::size_t>> perms(data.cols() * n_repeats);
+  for (auto& perm : perms) {
+    perm.resize(data.rows());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
   }
+
+  par::WorkerLocal<std::vector<double>> scratch;
+  par::parallel_for(
+      0, data.cols(), 1, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+        std::vector<double>& row = scratch.at(slot);
+        row.resize(data.cols());
+        for (std::size_t col = lo; col < hi; ++col) {
+          double drop = 0.0;
+          for (std::size_t r = 0; r < n_repeats; ++r) {
+            const auto& perm = perms[col * n_repeats + r];
+            std::size_t correct = 0;
+            for (std::size_t i = 0; i < data.rows(); ++i) {
+              const auto original = data.row(i);
+              std::copy(original.begin(), original.end(), row.begin());
+              row[col] = data.at(perm[i], col);
+              if (predict(row) == data.label(i)) ++correct;
+            }
+            drop += baseline - static_cast<double>(correct) /
+                                   static_cast<double>(data.rows());
+          }
+          importance[col] = drop / static_cast<double>(repeats);
+        }
+      });
   return importance;
 }
 

@@ -23,6 +23,12 @@ namespace vqoe::ml {
 /// Mean accuracy drop per feature when that column is permuted across the
 /// rows of `data` (repeated `repeats` times, averaged). Values can be
 /// slightly negative for useless features; larger = more important.
+///
+/// Columns are evaluated concurrently on the vqoe::par pool: `predict`
+/// must be safe to call from several threads at once (a const trained
+/// model is; a stateful closure is not). All permutations are drawn from
+/// `rng` up front in (column, repeat) order, so results and the RNG state
+/// after the call match the sequential implementation exactly.
 [[nodiscard]] std::vector<double> permutation_importance(
     const std::function<int(std::span<const double>)>& predict,
     const Dataset& data, std::mt19937_64& rng, int repeats = 3);

@@ -26,6 +26,12 @@ struct ForestParams {
   bool compute_oob = false;  ///< track out-of-bag votes during fit()
 };
 
+// Training and batch prediction run on the vqoe::par pool (VQOE_THREADS /
+// par::set_threads). Each tree draws its bootstrap and per-node feature
+// subsets from an RNG derived from (seed, tree index), and all reductions
+// (importance, OOB votes) are merged in tree order, so the fitted forest —
+// down to the bytes save() writes — is identical for every thread count.
+
 /// A trained forest. Copyable; prediction is const and thread-compatible.
 class RandomForest {
  public:
@@ -42,8 +48,14 @@ class RandomForest {
       std::span<const double> features) const;
 
   /// Predicts every row of a dataset that has the same column layout as the
-  /// training data (checked by name).
+  /// training data (checked by name). Rows are partitioned across the
+  /// vqoe::par pool; each worker reuses one vote buffer for its whole
+  /// partition (no per-row allocation).
   [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const;
+
+  /// Averaged class-probability vectors for every row, row-major
+  /// (rows() * num_classes()), computed like predict_all.
+  [[nodiscard]] std::vector<double> predict_proba_all(const Dataset& data) const;
 
   [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
   [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
@@ -67,6 +79,11 @@ class RandomForest {
   static RandomForest load(std::istream& is);
 
  private:
+  /// Sums unnormalized tree votes for one row into `votes` (zeroed by the
+  /// caller, size num_classes()).
+  void accumulate_votes(std::span<const double> features,
+                        std::span<double> votes) const;
+
   std::vector<DecisionTree> trees_;
   std::vector<std::string> feature_names_;
   std::vector<double> importance_raw_;

@@ -1,6 +1,7 @@
 #include "vqoe/ml/random_forest.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <istream>
 #include <numeric>
@@ -8,8 +9,24 @@
 #include <stdexcept>
 
 #include "vqoe/ml/binning.h"
+#include "vqoe/par/parallel.h"
 
 namespace vqoe::ml {
+
+namespace {
+
+int argmax_class(std::span<const double> votes) {
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+/// Per-worker training scratch, reused across every tree a worker fits.
+struct FitScratch {
+  std::vector<std::size_t> bootstrap;
+  std::vector<char> in_bag;
+};
+
+}  // namespace
 
 RandomForest RandomForest::fit(const Dataset& data, const ForestParams& params) {
   if (data.empty()) throw std::invalid_argument{"RandomForest::fit: empty dataset"};
@@ -30,39 +47,67 @@ RandomForest RandomForest::fit(const Dataset& data, const ForestParams& params) 
         1, static_cast<int>(std::sqrt(static_cast<double>(data.cols()))));
   }
 
-  std::mt19937_64 rng{params.seed};
   const std::size_t n = data.rows();
-  std::uniform_int_distribution<std::size_t> pick_row(0, n - 1);
+  const std::size_t ncls = forest.num_classes_;
+  const auto num_trees = static_cast<std::size_t>(params.num_trees);
+  forest.trees_.resize(num_trees);
 
-  // OOB bookkeeping: per-row class vote sums from trees that did not train
-  // on that row.
-  std::vector<double> oob_votes;
-  std::vector<char> in_bag(n, 0);
-  if (params.compute_oob) oob_votes.assign(n * forest.num_classes_, 0.0);
+  // Trees are embarrassingly parallel: tree t draws its bootstrap and its
+  // per-node feature subsets from an RNG seeded by (params.seed, t), so
+  // the grown forest never depends on the schedule. OOB votes are written
+  // to a per-tree buffer and merged below in strict tree order, which
+  // keeps the floating-point sums bit-identical for any thread count.
+  std::vector<std::vector<double>> oob_per_tree;
+  if (params.compute_oob) oob_per_tree.resize(num_trees);
+  par::WorkerLocal<FitScratch> scratch;
 
-  std::vector<std::size_t> bootstrap(n);
-  forest.trees_.reserve(static_cast<std::size_t>(params.num_trees));
-  for (int t = 0; t < params.num_trees; ++t) {
-    std::fill(in_bag.begin(), in_bag.end(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      bootstrap[i] = pick_row(rng);
-      in_bag[bootstrap[i]] = 1;
-    }
-    DecisionTree tree = DecisionTree::fit(data, binned, bootstrap, tree_params,
-                                          rng, forest.num_classes_);
-    const auto& imp = tree.impurity_importance();
-    for (std::size_t c = 0; c < imp.size(); ++c) forest.importance_raw_[c] += imp[c];
-
-    if (params.compute_oob) {
+  const auto fit_one = [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+    FitScratch& s = scratch.at(slot);
+    s.bootstrap.resize(n);
+    s.in_bag.resize(n);
+    for (std::size_t t = lo; t < hi; ++t) {
+      std::mt19937_64 rng{par::derive_seed(params.seed, t)};
+      std::uniform_int_distribution<std::size_t> pick_row(0, n - 1);
+      std::fill(s.in_bag.begin(), s.in_bag.end(), 0);
       for (std::size_t i = 0; i < n; ++i) {
-        if (in_bag[i]) continue;
-        const auto proba = tree.predict_proba(data.row(i));
-        for (std::size_t c = 0; c < forest.num_classes_; ++c) {
-          oob_votes[i * forest.num_classes_ + c] += proba[c];
+        s.bootstrap[i] = pick_row(rng);
+        s.in_bag[s.bootstrap[i]] = 1;
+      }
+      forest.trees_[t] = DecisionTree::fit(data, binned, s.bootstrap,
+                                           tree_params, rng, ncls);
+      if (params.compute_oob) {
+        auto& votes = oob_per_tree[t];
+        votes.assign(n * ncls, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (s.in_bag[i]) continue;
+          const auto proba = forest.trees_[t].predict_proba(data.row(i));
+          for (std::size_t c = 0; c < ncls; ++c) votes[i * ncls + c] = proba[c];
         }
       }
     }
-    forest.trees_.push_back(std::move(tree));
+  };
+
+  // OOB buffers cost n*classes doubles per tree; fitting in fixed-size
+  // blocks (merge + release after each) bounds peak memory at large corpus
+  // sizes. Block boundaries are thread-count independent.
+  std::vector<double> oob_votes;
+  if (params.compute_oob) oob_votes.assign(n * ncls, 0.0);
+  const std::size_t block = params.compute_oob ? 32 : num_trees;
+  for (std::size_t base = 0; base < num_trees; base += block) {
+    const std::size_t limit = std::min(num_trees, base + block);
+    par::parallel_for(base, limit, 1, fit_one);
+    if (params.compute_oob) {
+      for (std::size_t t = base; t < limit; ++t) {
+        const auto& votes = oob_per_tree[t];
+        for (std::size_t i = 0; i < oob_votes.size(); ++i) oob_votes[i] += votes[i];
+        oob_per_tree[t] = {};
+      }
+    }
+  }
+
+  for (const DecisionTree& tree : forest.trees_) {
+    const auto& imp = tree.impurity_importance();
+    for (std::size_t c = 0; c < imp.size(); ++c) forest.importance_raw_[c] += imp[c];
   }
 
   if (params.compute_oob) {
@@ -86,13 +131,18 @@ RandomForest RandomForest::fit(const Dataset& data, const ForestParams& params) 
   return forest;
 }
 
+void RandomForest::accumulate_votes(std::span<const double> features,
+                                    std::span<double> votes) const {
+  for (const DecisionTree& tree : trees_) {
+    const auto proba = tree.predict_proba(features);
+    for (std::size_t c = 0; c < votes.size(); ++c) votes[c] += proba[c];
+  }
+}
+
 std::vector<double> RandomForest::predict_proba(
     std::span<const double> features) const {
   std::vector<double> votes(num_classes_, 0.0);
-  for (const DecisionTree& tree : trees_) {
-    const auto proba = tree.predict_proba(features);
-    for (std::size_t c = 0; c < num_classes_; ++c) votes[c] += proba[c];
-  }
+  accumulate_votes(features, votes);
   const double total = std::accumulate(votes.begin(), votes.end(), 0.0);
   if (total > 0.0) {
     for (double& v : votes) v /= total;
@@ -101,9 +151,19 @@ std::vector<double> RandomForest::predict_proba(
 }
 
 int RandomForest::predict(std::span<const double> features) const {
-  const auto proba = predict_proba(features);
-  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
-                          proba.begin());
+  // Max-vote into a stack buffer: normalizing and heap-allocating a proba
+  // vector per call dominated the old single-row hot path.
+  std::array<double, 16> stack_votes{};
+  std::vector<double> heap_votes;
+  std::span<double> votes;
+  if (num_classes_ <= stack_votes.size()) {
+    votes = std::span{stack_votes.data(), num_classes_};
+  } else {
+    heap_votes.assign(num_classes_, 0.0);
+    votes = heap_votes;
+  }
+  accumulate_votes(features, votes);
+  return argmax_class(votes);
 }
 
 std::vector<int> RandomForest::predict_all(const Dataset& data) const {
@@ -111,9 +171,38 @@ std::vector<int> RandomForest::predict_all(const Dataset& data) const {
     throw std::invalid_argument{
         "RandomForest::predict_all: feature layout differs from training"};
   }
-  std::vector<int> out;
-  out.reserve(data.rows());
-  for (std::size_t i = 0; i < data.rows(); ++i) out.push_back(predict(data.row(i)));
+  std::vector<int> out(data.rows());
+  par::WorkerLocal<std::vector<double>> votes;
+  par::parallel_for(
+      0, data.rows(), 64, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+        auto& buf = votes.at(slot);
+        buf.resize(num_classes_);
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::fill(buf.begin(), buf.end(), 0.0);
+          accumulate_votes(data.row(i), buf);
+          out[i] = argmax_class(buf);
+        }
+      });
+  return out;
+}
+
+std::vector<double> RandomForest::predict_proba_all(const Dataset& data) const {
+  if (data.feature_names() != feature_names_) {
+    throw std::invalid_argument{
+        "RandomForest::predict_proba_all: feature layout differs from training"};
+  }
+  std::vector<double> out(data.rows() * num_classes_, 0.0);
+  par::parallel_for(
+      0, data.rows(), 64, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::span<double> row{out.data() + i * num_classes_, num_classes_};
+          accumulate_votes(data.row(i), row);
+          const double total = std::accumulate(row.begin(), row.end(), 0.0);
+          if (total > 0.0) {
+            for (double& v : row) v /= total;
+          }
+        }
+      });
   return out;
 }
 

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace vqoe::net {
+
+namespace {
+
+// Binomial(n, p) via geometric skips between successes. Equivalent in law to
+// std::binomial_distribution, but never calls lgamma — glibc's lgamma writes
+// the process-global `signgam`, which races when downloads are simulated
+// concurrently on the vqoe::par runtime. Expected cost is O(n*p + 1) log
+// evaluations; p is clamped to <= 0.5 upstream.
+std::uint64_t sample_binomial(std::uint64_t n, double p, std::mt19937_64& rng) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double log_q = std::log1p(-p);
+  std::uniform_real_distribution<double> unit(
+      std::numeric_limits<double>::min(), 1.0);
+  const double limit = static_cast<double>(n);
+  double position = 0.0;
+  std::uint64_t successes = 0;
+  while (true) {
+    position += std::floor(std::log(unit(rng)) / log_q) + 1.0;
+    if (position > limit) return successes;
+    ++successes;
+  }
+}
+
+}  // namespace
 
 DownloadResult TcpModel::download(std::uint64_t size_bytes, const ChannelState& ch) {
   if (size_bytes == 0) throw std::invalid_argument{"TcpModel::download: empty object"};
@@ -80,8 +106,7 @@ DownloadResult TcpModel::download(std::uint64_t size_bytes, const ChannelState& 
   // Packet loss realized over the packets of this object.
   const auto packets = static_cast<std::uint64_t>(
       std::ceil(static_cast<double>(size_bytes) / kMssBytes));
-  std::binomial_distribution<std::uint64_t> losses(packets, p);
-  const double lost = static_cast<double>(losses(rng_));
+  const double lost = static_cast<double>(sample_binomial(packets, p, rng_));
   s.loss_pct = 100.0 * lost / static_cast<double>(packets);
   // Retransmissions: every loss plus occasional spurious/timeout retransmits.
   std::uniform_real_distribution<double> extra(1.0, 1.35);

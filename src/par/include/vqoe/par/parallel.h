@@ -1,0 +1,120 @@
+// Deterministic parallel runtime for the offline side of the framework:
+// forest training, batch inference, cross-validation, permutation
+// importance and corpus generation (DESIGN.md section 5c).
+//
+// The engine (src/engine) owns its own threads for the *online* ingest
+// path; this pool serves the *batch* paths, where the contract is
+// different: results must be bit-identical for any thread count. The
+// primitives here therefore never expose scheduling order to the caller —
+// work items are indexed, per-item outputs land in pre-sized slots, and
+// floating-point reductions are merged in item order by the caller, never
+// accumulated per worker.
+//
+// Thread count resolution, in priority order:
+//   1. set_threads(n) (0 restores automatic resolution)
+//   2. the VQOE_THREADS environment variable (read once, at first use)
+//   3. std::thread::hardware_concurrency()
+// A resolved count of 1 is the fully sequential fallback: no pool is ever
+// spun up and every primitive runs inline on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vqoe::par {
+
+/// Resolved parallelism (always >= 1). See the resolution order above.
+[[nodiscard]] int max_threads();
+
+/// Overrides the thread count. 0 restores automatic resolution
+/// (VQOE_THREADS, then hardware_concurrency). Joins and discards any idle
+/// pool of the previous size; the next parallel call re-creates it.
+/// Must not be called from inside a parallel region.
+void set_threads(int n);
+
+/// True while the calling thread is executing a task scheduled by this
+/// runtime. Nested primitives detect this and degrade to inline sequential
+/// execution instead of re-entering the pool (which could deadlock).
+[[nodiscard]] bool in_parallel_region();
+
+/// Splits the half-open range [begin, end) into chunks of at most `grain`
+/// items and executes `body(chunk_begin, chunk_end, slot)` for every chunk
+/// across the pool. The calling thread participates (slot 0); pool workers
+/// use slots 1 .. max_threads()-1, so `slot < max_threads()` always holds
+/// and per-slot scratch sized by max_threads() is race-free.
+///
+/// Chunk *scheduling* is dynamic; determinism is the caller's contract:
+/// write results into per-item slots, or group floating-point accumulation
+/// by item (not by slot) and merge in item order afterwards.
+///
+/// The first exception thrown by `body` is captured, remaining chunks are
+/// abandoned, and the exception is rethrown here once the region drains.
+/// Called from inside a parallel region, the whole range runs inline
+/// sequentially on the calling thread (nested use is rejected by the pool,
+/// not by the caller).
+void parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Heterogeneous fan-out: collect tasks with run(), execute them all with
+/// wait(). Tasks start only at wait() (which dispatches them over the pool
+/// and participates); the first task exception is rethrown from wait().
+/// A TaskGroup is single-use per wait cycle and not itself thread-safe.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  /// Destroying a group with unexecuted tasks discards them.
+  ~TaskGroup() = default;
+
+  void run(std::function<void()> task);
+
+  /// Executes every collected task (parallel when the pool allows, inline
+  /// inside a parallel region), clears the group, rethrows the first task
+  /// exception.
+  void wait();
+
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+};
+
+/// Cache-line-padded per-slot state for parallel_for bodies: one T per
+/// worker slot, so concurrent chunks on different workers never share a
+/// line. Intended for *scratch* (reusable buffers); not for
+/// order-sensitive floating-point reductions — those must be grouped by
+/// item to stay deterministic (see the header comment).
+template <typename T>
+class WorkerLocal {
+ public:
+  WorkerLocal() : slots_(static_cast<std::size_t>(max_threads())) {}
+  explicit WorkerLocal(const T& init)
+      : slots_(static_cast<std::size_t>(max_threads()), Slot{init}) {}
+
+  [[nodiscard]] T& at(std::size_t slot) { return slots_[slot].value; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct alignas(64) Slot {
+    T value{};
+  };
+  std::vector<Slot> slots_;
+};
+
+/// SplitMix64 seed derivation: a statistically independent stream for task
+/// `index` of a computation seeded with `base`. This is how every parallel
+/// path derives its per-tree / per-fold / per-session RNG, making results
+/// a pure function of (base seed, index) — never of the schedule.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace vqoe::par

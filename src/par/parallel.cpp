@@ -1,0 +1,265 @@
+#include "vqoe/par/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace vqoe::par {
+
+namespace {
+
+// Which slot the calling thread occupies inside the active region
+// (0 = the submitting thread). Doubles as the in-region flag.
+thread_local bool tl_in_region = false;
+thread_local std::size_t tl_slot = 0;
+
+int env_threads() {
+  const char* value = std::getenv("VQOE_THREADS");
+  if (!value || !*value) return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0 || parsed > 4096) return 0;
+  return static_cast<int>(parsed);
+}
+
+int auto_threads() {
+  static const int resolved = [] {
+    const int env = env_threads();
+    if (env > 0) return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return resolved;
+}
+
+// One parallel_for dispatch. Chunks are claimed with an atomic cursor;
+// the first body exception cancels the remaining chunks.
+struct Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t num_chunks = 0;
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void work(std::size_t slot) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      const std::size_t lo = begin + chunk * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        (*body)(lo, hi, slot);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!error) error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+// Fixed pool of max_threads()-1 workers; the submitting thread is the
+// extra participant. Jobs are serialized (one region at a time), which is
+// all the batch paths need and keeps slot assignment trivially race-free.
+class Pool {
+ public:
+  explicit Pool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, slot = static_cast<std::size_t>(i) + 1] {
+        worker_main(slot);
+      });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void run(Job& job) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      job_ = &job;
+      ++generation_;
+      active_ = threads_.size();
+    }
+    cv_.notify_all();
+
+    tl_in_region = true;
+    tl_slot = 0;
+    job.work(0);
+    tl_in_region = false;
+
+    std::unique_lock<std::mutex> lock{mutex_};
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_main(std::size_t slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock{mutex_};
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      tl_in_region = true;
+      tl_slot = slot;
+      job->work(slot);
+      tl_in_region = false;
+      {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        --active_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Pool lifecycle: guarded by a mutex so set_threads() and concurrent
+// submitters (e.g. tests driving two pipelines) stay coherent. The
+// region_mutex_ serializes whole regions.
+struct Runtime {
+  std::mutex config_mutex;
+  std::mutex region_mutex;
+  int override_threads = 0;  // 0 = automatic
+  std::unique_ptr<Pool> pool;
+  int pool_size = 0;  // worker count the pool was built with
+};
+
+Runtime& runtime() {
+  static Runtime* rt = new Runtime;  // leaked: workers may outlive main
+  return *rt;
+}
+
+void run_inline(std::size_t begin, std::size_t end, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                std::size_t slot) {
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    body(lo, std::min(end, lo + grain), slot);
+  }
+}
+
+}  // namespace
+
+int max_threads() {
+  Runtime& rt = runtime();
+  const std::lock_guard<std::mutex> lock{rt.config_mutex};
+  return rt.override_threads > 0 ? rt.override_threads : auto_threads();
+}
+
+void set_threads(int n) {
+  if (n < 0) throw std::invalid_argument{"par::set_threads: negative count"};
+  if (in_parallel_region()) {
+    throw std::logic_error{"par::set_threads: called inside a parallel region"};
+  }
+  Runtime& rt = runtime();
+  std::unique_ptr<Pool> retired;
+  {
+    const std::lock_guard<std::mutex> region{rt.region_mutex};
+    const std::lock_guard<std::mutex> lock{rt.config_mutex};
+    rt.override_threads = n;
+    retired = std::move(rt.pool);
+    rt.pool_size = 0;
+  }
+  // Joined outside the locks.
+  retired.reset();
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+
+  // Nested use: the pool rejects re-entrant scheduling; run on the calling
+  // worker's slot so per-slot scratch stays consistent.
+  if (in_parallel_region()) {
+    run_inline(begin, end, grain, body, tl_slot);
+    return;
+  }
+
+  const int threads = max_threads();
+  const std::size_t num_chunks = (end - begin + grain - 1) / grain;
+  if (threads <= 1 || num_chunks <= 1) {
+    tl_in_region = true;
+    tl_slot = 0;
+    try {
+      run_inline(begin, end, grain, body, 0);
+    } catch (...) {
+      tl_in_region = false;
+      throw;
+    }
+    tl_in_region = false;
+    return;
+  }
+
+  Runtime& rt = runtime();
+  const std::lock_guard<std::mutex> region{rt.region_mutex};
+  {
+    const std::lock_guard<std::mutex> lock{rt.config_mutex};
+    const int wanted = threads - 1;
+    if (!rt.pool || rt.pool_size != wanted) {
+      rt.pool.reset();  // join the old size first
+      rt.pool = std::make_unique<Pool>(wanted);
+      rt.pool_size = wanted;
+    }
+  }
+
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.body = &body;
+  job.num_chunks = num_chunks;
+  rt.pool->run(job);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  tasks_.push_back(std::move(task));
+}
+
+void TaskGroup::wait() {
+  if (tasks_.empty()) return;
+  std::vector<std::function<void()>> tasks = std::move(tasks_);
+  tasks_.clear();
+  parallel_for(0, tasks.size(), 1,
+               [&tasks](std::size_t lo, std::size_t hi, std::size_t) {
+                 for (std::size_t i = lo; i < hi; ++i) tasks[i]();
+               });
+}
+
+}  // namespace vqoe::par

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "vqoe/net/channel.h"
+#include "vqoe/par/parallel.h"
 #include "vqoe/sim/video.h"
 #include "vqoe/trace/csv.h"
 
@@ -125,6 +126,26 @@ sim::Resolution pick_progressive_rep(const sim::VideoDescription& video,
   return std::min(rep, cap);
 }
 
+// Everything a session needs before it can simulate, drawn up front so the
+// simulation itself carries no dependence on its neighbours. The master
+// stream contributes exactly two draws per session (subscriber, seed);
+// every other decision comes from a per-session stream derived from the
+// session seed, which is what lets sessions simulate concurrently while
+// staying a pure function of the corpus seed.
+struct SessionPlan {
+  std::size_t subscriber = 0;
+  Scenario scenario = Scenario::static_good;
+  std::uint64_t session_seed = 0;
+  sim::VideoDescription video;
+  sim::Resolution cap = sim::Resolution::p360;
+  sim::PlayerConfig player_cfg;
+  bool adaptive = false;
+  sim::Resolution progressive_rep = sim::Resolution::p360;
+};
+
+// Sub-stream indices of a session's seed (par::derive_seed second arg).
+enum : std::uint64_t { kPlanStream = 0, kSimStream = 1, kEmitStream = 2 };
+
 }  // namespace
 
 Corpus generate_corpus(const CorpusOptions& options) {
@@ -143,46 +164,49 @@ Corpus generate_corpus(const CorpusOptions& options) {
 
   std::uniform_int_distribution<std::size_t> pick_subscriber(
       0, options.subscribers - 1);
-  // A third of follow-up videos are binge clicks seconds after the previous
-  // one ends — those boundaries are only recoverable from the watch-page
-  // markers, not from idle gaps (the Section 5.2 ablation depends on this).
-  std::bernoulli_distribution binge(0.35);
-  std::uniform_real_distribution<double> binge_gap(3.0, 20.0);
-  std::uniform_real_distribution<double> idle_gap(45.0, 600.0);
-  std::bernoulli_distribution adaptive(options.adaptive_fraction);
 
-  for (std::size_t i = 0; i < options.sessions; ++i) {
-    const std::size_t sub = pick_subscriber(rng);
-    const Scenario scenario = sample_scenario(options.mix, rng);
-    const std::uint64_t session_seed = rng();
-    auto channel = make_scenario_channel(scenario, session_seed);
-    const sim::VideoDescription video =
-        apply_service(catalog.sample(rng), options.service);
-    const sim::Resolution cap = sample_cap(options.caps, rng);
-    const double hint = scenario_bandwidth_hint(scenario);
-    const sim::PlayerConfig player_cfg =
-        make_player_config(video, options.service, cap, hint, rng);
+  // Phase 1 — plan every session sequentially (cheap draws only).
+  std::vector<SessionPlan> plans(options.sessions);
+  for (SessionPlan& plan : plans) {
+    plan.subscriber = pick_subscriber(rng);
+    plan.session_seed = rng();
+    std::mt19937_64 prng{par::derive_seed(plan.session_seed, kPlanStream)};
+    plan.scenario = sample_scenario(options.mix, prng);
+    plan.video = apply_service(catalog.sample(prng), options.service);
+    plan.cap = sample_cap(options.caps, prng);
+    const double hint = scenario_bandwidth_hint(plan.scenario);
+    plan.player_cfg =
+        make_player_config(plan.video, options.service, plan.cap, hint, prng);
+    plan.adaptive = std::bernoulli_distribution{options.adaptive_fraction}(prng);
+    plan.progressive_rep =
+        plan.adaptive ? plan.cap
+                      : pick_progressive_rep(plan.video, plan.cap, hint, prng);
+  }
 
+  const auto simulate = [&options](const SessionPlan& plan) {
+    auto channel = make_scenario_channel(plan.scenario, plan.session_seed);
     sim::SessionResult result;
-    if (adaptive(rng)) {
-      const sim::HasPlayer player{player_cfg};
-      result = player.play(video, *channel, session_seed ^ 0x5555aaaaULL);
+    if (plan.adaptive) {
+      const sim::HasPlayer player{plan.player_cfg};
+      result = player.play(plan.video, *channel,
+                           plan.session_seed ^ 0x5555aaaaULL);
     } else {
-      const sim::ProgressivePlayer player{player_cfg};
-      const sim::Resolution rep = pick_progressive_rep(video, cap, hint, rng);
-      result = player.play(video, rep, *channel, session_seed ^ 0x5555aaaaULL);
+      const sim::ProgressivePlayer player{plan.player_cfg};
+      result = player.play(plan.video, plan.progressive_rep, *channel,
+                           plan.session_seed ^ 0x5555aaaaULL);
     }
 
     // Client-side stall injection: visible to the playback reports (and to
     // the instrumented handset of Section 5.1) but absent from the traffic.
+    std::mt19937_64 srng{par::derive_seed(plan.session_seed, kSimStream)};
     std::bernoulli_distribution device_stall(options.device_stall_rate);
-    if (device_stall(rng) && result.total_duration_s > 12.0) {
+    if (device_stall(srng) && result.total_duration_s > 12.0) {
       std::lognormal_distribution<double> dur(std::log(2.0), 0.6);
       std::uniform_real_distribution<double> where(5.0,
                                                    result.total_duration_s - 5.0);
       sim::StallEvent extra;
-      extra.duration_s = std::clamp(dur(rng), 0.5, 12.0);
-      extra.start_s = where(rng);
+      extra.duration_s = std::clamp(dur(srng), 0.5, 12.0);
+      extra.start_s = where(srng);
       result.stalls.push_back(extra);
       std::sort(result.stalls.begin(), result.stalls.end(),
                 [](const sim::StallEvent& a, const sim::StallEvent& b) {
@@ -190,25 +214,61 @@ Corpus generate_corpus(const CorpusOptions& options) {
                 });
       result.total_duration_s += extra.duration_s;
     }
+    return result;
+  };
 
-    trace::WeblogOptions wopt;
-    wopt.subscriber_id = "sub-" + std::to_string(sub);
-    wopt.start_time_s = clock[sub];
-    wopt.cache_hit_rate = options.cache_hit_rate;
-    wopt.cdn_host = options.service.cdn_host;
-    wopt.page_host = options.service.page_host;
-    wopt.thumbnail_host = options.service.thumbnail_host;
-    wopt.report_host = options.service.report_host;
-    auto rendered = trace::to_weblogs(result, wopt, rng);
+  // Phases 2+3, block-wise to bound the in-flight simulation results:
+  // simulate a block concurrently (results land in per-session slots),
+  // then render it to weblogs sequentially in session order — the
+  // per-subscriber clock chain forces that order, and it also makes the
+  // emitted corpus independent of the schedule. The block size only
+  // batches work; results are identical for any value.
+  constexpr std::size_t kBlock = 256;
+  // A third of follow-up videos are binge clicks seconds after the previous
+  // one ends — those boundaries are only recoverable from the watch-page
+  // markers, not from idle gaps (the Section 5.2 ablation depends on this).
+  std::bernoulli_distribution binge(0.35);
+  std::uniform_real_distribution<double> binge_gap(3.0, 20.0);
+  std::uniform_real_distribution<double> idle_gap(45.0, 600.0);
 
-    clock[sub] = rendered.truth.start_time_s + result.total_duration_s +
-                 (binge(rng) ? binge_gap(rng) : idle_gap(rng));
+  std::vector<sim::SessionResult> results;
+  for (std::size_t base = 0; base < plans.size(); base += kBlock) {
+    const std::size_t limit = std::min(plans.size(), base + kBlock);
+    results.assign(limit - base, {});
+    par::parallel_for(base, limit, 4,
+                      [&](std::size_t lo, std::size_t hi, std::size_t) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          results[i - base] = simulate(plans[i]);
+                        }
+                      });
 
-    corpus.weblogs.insert(corpus.weblogs.end(),
-                          std::make_move_iterator(rendered.records.begin()),
-                          std::make_move_iterator(rendered.records.end()));
-    corpus.truths.push_back(std::move(rendered.truth));
-    if (options.keep_session_results) corpus.sessions.push_back(std::move(result));
+    for (std::size_t i = base; i < limit; ++i) {
+      const SessionPlan& plan = plans[i];
+      sim::SessionResult& result = results[i - base];
+      std::mt19937_64 erng{par::derive_seed(plan.session_seed, kEmitStream)};
+
+      trace::WeblogOptions wopt;
+      wopt.subscriber_id = "sub-" + std::to_string(plan.subscriber);
+      wopt.start_time_s = clock[plan.subscriber];
+      wopt.cache_hit_rate = options.cache_hit_rate;
+      wopt.cdn_host = options.service.cdn_host;
+      wopt.page_host = options.service.page_host;
+      wopt.thumbnail_host = options.service.thumbnail_host;
+      wopt.report_host = options.service.report_host;
+      auto rendered = trace::to_weblogs(result, wopt, erng);
+
+      clock[plan.subscriber] = rendered.truth.start_time_s +
+                               result.total_duration_s +
+                               (binge(erng) ? binge_gap(erng) : idle_gap(erng));
+
+      corpus.weblogs.insert(corpus.weblogs.end(),
+                            std::make_move_iterator(rendered.records.begin()),
+                            std::make_move_iterator(rendered.records.end()));
+      corpus.truths.push_back(std::move(rendered.truth));
+      if (options.keep_session_results) {
+        corpus.sessions.push_back(std::move(result));
+      }
+    }
   }
 
   std::stable_sort(corpus.weblogs.begin(), corpus.weblogs.end(),

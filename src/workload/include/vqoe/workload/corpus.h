@@ -70,7 +70,11 @@ struct Corpus {
 };
 
 /// Simulates `options.sessions` video sessions and renders them into proxy
-/// logs. Deterministic in `options.seed`.
+/// logs. Sessions simulate concurrently on the vqoe::par pool (VQOE_THREADS
+/// / par::set_threads), each from an RNG stream derived from the corpus
+/// seed and its session index, and are rendered in session order — the
+/// output is deterministic in `options.seed` and identical for any thread
+/// count.
 [[nodiscard]] Corpus generate_corpus(const CorpusOptions& options);
 
 /// Defaults matching the Section 3 cleartext operator corpus.

@@ -107,8 +107,15 @@ TEST_F(OnlineMonitorTest, ReportsMatchBatchAssessment) {
 
 TEST_F(OnlineMonitorTest, AdvanceToFlushesIdleSessions) {
   OnlineMonitor monitor{*pipeline_};
-  // Feed only the first half of the records.
-  const std::size_t half = records_->size() / 2;
+  // Feed roughly the first half of the records, cutting right after a
+  // media record so the session left open holds at least one chunk (a cut
+  // inside a session's page-object prefix would flush an empty session,
+  // which the monitor drops without a report).
+  std::size_t half = records_->size() / 2;
+  while (half > 1 &&
+         (*records_)[half - 1].kind != trace::RecordKind::media) {
+    --half;
+  }
   for (std::size_t i = 0; i < half; ++i) monitor.ingest((*records_)[i]);
   EXPECT_GT(monitor.open_sessions(), 0u);
 

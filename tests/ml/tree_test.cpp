@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
+#include <string>
 
 namespace vqoe::ml {
 namespace {
@@ -134,6 +136,54 @@ TEST(DecisionTree, MinSamplesLeafLimitsLeafSize) {
   const auto tree = DecisionTree::fit(d, binned, all_rows(d), params, rng, 2);
   // 200 rows, leaves of >= 40: at most 5 leaves.
   EXPECT_LE(tree.leaf_count(), 5u);
+}
+
+// A hand-edited model file must be rejected at load time, not crash at
+// predict time: empty trees, out-of-range children and leaf probability
+// offsets that would read past the probas array are all UB otherwise.
+TEST(DecisionTreeLoad, RejectsMalformedModels) {
+  const auto load_from = [](const std::string& text) {
+    std::istringstream is{text};
+    return DecisionTree::load(is);
+  };
+
+  // Empty tree: predict_proba would dereference nodes_.front().
+  EXPECT_THROW(load_from("tree 0 0 2 0\n\n\n"), std::runtime_error);
+  // Zero classes: a leaf's proba span would be empty.
+  EXPECT_THROW(load_from("tree 1 0 0 0\n-1 0 -1 -1 0\n\n\n"), std::runtime_error);
+  // Child index past the node array.
+  EXPECT_THROW(
+      load_from("tree 2 2 2 0\n0 0.5 1 7 -1\n-1 0 -1 -1 0\n0.5 0.5\n\n"),
+      std::runtime_error);
+  // Negative child index on a split node.
+  EXPECT_THROW(
+      load_from("tree 2 2 2 0\n0 0.5 -3 1 -1\n-1 0 -1 -1 0\n0.5 0.5\n\n"),
+      std::runtime_error);
+  // Leaf probability offset that reads past probas_.
+  EXPECT_THROW(load_from("tree 1 2 2 0\n-1 0 -1 -1 1\n0.5 0.5\n\n"),
+               std::runtime_error);
+  EXPECT_THROW(load_from("tree 1 2 2 0\n-1 0 -1 -1 -2\n0.5 0.5\n\n"),
+               std::runtime_error);
+
+  // A well-formed single-leaf model still loads.
+  const auto tree = load_from("tree 1 2 2 0\n-1 0 -1 -1 0\n0.25 0.75\n\n");
+  EXPECT_EQ(tree.num_classes(), 2u);
+  const double features[] = {0.0};
+  EXPECT_EQ(tree.predict(features), 1);
+}
+
+// Round-trip through save/load stays valid under the new checks.
+TEST(DecisionTreeLoad, RoundTripSurvivesValidation) {
+  const Dataset d = blobs(60, 18);
+  const auto binned = BinnedMatrix::build(d);
+  std::mt19937_64 rng{19};
+  const auto tree = DecisionTree::fit(d, binned, all_rows(d), TreeParams{}, rng, 2);
+  std::stringstream ss;
+  tree.save(ss);
+  const auto reloaded = DecisionTree::load(ss);
+  for (std::size_t i = 0; i < d.rows(); i += 7) {
+    EXPECT_EQ(reloaded.predict(d.row(i)), tree.predict(d.row(i)));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// The determinism invariant of the parallel runtime (DESIGN.md section 5c):
+// every batch path — forest training, batch inference, cross-validation,
+// permutation importance, corpus generation — produces bit-identical
+// results for any thread count, because all randomness is derived from
+// (seed, item index) and all reductions merge in item order.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "vqoe/ml/cross_validation.h"
+#include "vqoe/ml/importance.h"
+#include "vqoe/ml/random_forest.h"
+#include "vqoe/par/parallel.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { par::set_threads(0); }
+};
+
+ml::Dataset blob_dataset(std::size_t per_class, std::uint64_t seed) {
+  ml::Dataset d{{"f0", "f1", "f2", "noise"}, {"a", "b", "c"}};
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({n(rng), n(rng) + 1.0, n(rng), n(rng)}, 0);
+    d.add({n(rng) + 3.0, n(rng), n(rng), n(rng)}, 1);
+    d.add({n(rng), n(rng) + 4.0, n(rng) + 2.0, n(rng)}, 2);
+  }
+  return d;
+}
+
+std::string saved_forest(const ml::Dataset& data, int threads) {
+  par::set_threads(threads);
+  ml::ForestParams params;
+  params.num_trees = 24;
+  params.seed = 99;
+  params.compute_oob = true;
+  const auto forest = ml::RandomForest::fit(data, params);
+  std::ostringstream os;
+  forest.save(os);
+  return os.str();
+}
+
+TEST_F(DeterminismTest, ForestSaveIsByteIdenticalAcrossThreadCounts) {
+  const auto data = blob_dataset(80, 3);
+  const std::string baseline = saved_forest(data, 1);
+  EXPECT_FALSE(baseline.empty());
+  for (const int threads : {4, 8}) {
+    EXPECT_EQ(saved_forest(data, threads), baseline) << "threads " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, PredictAllIsIdenticalAcrossThreadCounts) {
+  const auto train = blob_dataset(80, 5);
+  const auto test = blob_dataset(50, 6);
+  par::set_threads(1);
+  ml::ForestParams params;
+  params.num_trees = 16;
+  const auto forest = ml::RandomForest::fit(train, params);
+  const auto baseline = forest.predict_all(test);
+  const auto baseline_proba = forest.predict_proba_all(test);
+  for (const int threads : {4, 8}) {
+    par::set_threads(threads);
+    EXPECT_EQ(forest.predict_all(test), baseline) << "threads " << threads;
+    EXPECT_EQ(forest.predict_proba_all(test), baseline_proba)
+        << "threads " << threads;
+  }
+  // Row-by-row prediction agrees with the batch path.
+  for (std::size_t i = 0; i < test.rows(); i += 5) {
+    EXPECT_EQ(forest.predict(test.row(i)), baseline[i]);
+  }
+}
+
+TEST_F(DeterminismTest, CrossValidationConfusionIsIdenticalAcrossThreadCounts) {
+  const auto data = blob_dataset(40, 7);
+  ml::ForestParams params;
+  params.num_trees = 8;
+  ml::CrossValidationOptions options;
+  options.folds = 5;
+  par::set_threads(1);
+  const auto baseline = ml::cross_validate(data, params, options);
+  for (const int threads : {4, 8}) {
+    par::set_threads(threads);
+    const auto cm = ml::cross_validate(data, params, options);
+    ASSERT_EQ(cm.total(), baseline.total()) << "threads " << threads;
+    for (int a = 0; a < static_cast<int>(cm.num_classes()); ++a) {
+      for (int p = 0; p < static_cast<int>(cm.num_classes()); ++p) {
+        EXPECT_EQ(cm.count(a, p), baseline.count(a, p))
+            << "threads " << threads << " cell " << a << "," << p;
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, PermutationImportanceMatchesAcrossThreadCounts) {
+  const auto data = blob_dataset(40, 9);
+  par::set_threads(1);
+  ml::ForestParams params;
+  params.num_trees = 8;
+  const auto forest = ml::RandomForest::fit(data, params);
+  const auto predict = [&forest](std::span<const double> x) {
+    return forest.predict(x);
+  };
+  std::mt19937_64 rng_a{11};
+  const auto baseline = ml::permutation_importance(predict, data, rng_a, 2);
+  const std::uint64_t next_draw = rng_a();
+  for (const int threads : {4, 8}) {
+    par::set_threads(threads);
+    std::mt19937_64 rng_b{11};
+    EXPECT_EQ(ml::permutation_importance(predict, data, rng_b, 2), baseline)
+        << "threads " << threads;
+    // The caller-visible RNG stream advanced identically.
+    EXPECT_EQ(rng_b(), next_draw);
+  }
+}
+
+TEST_F(DeterminismTest, GeneratedCorpusIsIdenticalAcrossThreadCounts) {
+  auto options = workload::cleartext_corpus_options(50, 21);
+  options.keep_session_results = true;
+  par::set_threads(1);
+  const auto baseline = workload::generate_corpus(options);
+  for (const int threads : {4, 8}) {
+    par::set_threads(threads);
+    const auto corpus = workload::generate_corpus(options);
+    ASSERT_EQ(corpus.weblogs.size(), baseline.weblogs.size())
+        << "threads " << threads;
+    ASSERT_EQ(corpus.truths.size(), baseline.truths.size());
+    ASSERT_EQ(corpus.sessions.size(), baseline.sessions.size());
+    for (std::size_t i = 0; i < corpus.truths.size(); ++i) {
+      EXPECT_EQ(corpus.truths[i].session_id, baseline.truths[i].session_id);
+      EXPECT_EQ(corpus.truths[i].subscriber_id, baseline.truths[i].subscriber_id);
+      EXPECT_EQ(corpus.truths[i].start_time_s, baseline.truths[i].start_time_s);
+      EXPECT_EQ(corpus.truths[i].rebuffering_ratio,
+                baseline.truths[i].rebuffering_ratio);
+      EXPECT_EQ(corpus.truths[i].media_chunk_count,
+                baseline.truths[i].media_chunk_count);
+    }
+    for (std::size_t i = 0; i < corpus.weblogs.size(); ++i) {
+      ASSERT_EQ(corpus.weblogs[i].timestamp_s, baseline.weblogs[i].timestamp_s);
+      ASSERT_EQ(corpus.weblogs[i].session_id, baseline.weblogs[i].session_id);
+      ASSERT_EQ(corpus.weblogs[i].object_size_bytes,
+                baseline.weblogs[i].object_size_bytes);
+      ASSERT_EQ(corpus.weblogs[i].host, baseline.weblogs[i].host);
+    }
+    for (std::size_t i = 0; i < corpus.sessions.size(); ++i) {
+      EXPECT_EQ(corpus.sessions[i].total_duration_s,
+                baseline.sessions[i].total_duration_s);
+      EXPECT_EQ(corpus.sessions[i].stalls.size(),
+                baseline.sessions[i].stalls.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqoe

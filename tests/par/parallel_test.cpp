@@ -1,0 +1,161 @@
+#include "vqoe/par/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vqoe::par {
+namespace {
+
+// Every test restores the automatic thread resolution on exit so ordering
+// between tests (and with other suites in this binary) doesn't matter.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_threads(0); }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    set_threads(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, 7, [&](std::size_t lo, std::size_t hi, std::size_t) {
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, RespectsRangeAndGrainBounds) {
+  set_threads(4);
+  std::atomic<std::size_t> total{0};
+  parallel_for(10, 25, 4, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    ASSERT_GE(lo, 10u);
+    ASSERT_LE(hi, 25u);
+    ASSERT_LE(hi - lo, 4u);
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 15u);
+
+  // Empty ranges are a no-op.
+  parallel_for(5, 5, 1, [](std::size_t, std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST_F(ParallelTest, SlotsStayBelowMaxThreads) {
+  set_threads(3);
+  std::mutex m;
+  std::set<std::size_t> seen;
+  parallel_for(0, 64, 1, [&](std::size_t, std::size_t, std::size_t slot) {
+    const std::lock_guard<std::mutex> lock{m};
+    seen.insert(slot);
+  });
+  for (const std::size_t slot : seen) EXPECT_LT(slot, 3u);
+}
+
+TEST_F(ParallelTest, PropagatesBodyException) {
+  for (const int threads : {1, 4}) {
+    set_threads(threads);
+    EXPECT_THROW(
+        parallel_for(0, 100, 1,
+                     [](std::size_t lo, std::size_t, std::size_t) {
+                       if (lo == 42) throw std::runtime_error{"boom"};
+                     }),
+        std::runtime_error)
+        << "threads " << threads;
+    // The pool must stay usable after an exception drained.
+    std::atomic<std::size_t> total{0};
+    parallel_for(0, 10, 1, [&](std::size_t lo, std::size_t hi, std::size_t) {
+      total.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(total.load(), 10u);
+  }
+}
+
+TEST_F(ParallelTest, NestedUseIsRejectedByThePoolAndRunsInline) {
+  set_threads(4);
+  std::atomic<std::size_t> inner_total{0};
+  std::atomic<bool> saw_region_flag{false};
+  parallel_for(0, 8, 1, [&](std::size_t, std::size_t, std::size_t slot) {
+    if (in_parallel_region()) saw_region_flag.store(true);
+    // Nested call: must not deadlock, must run the full range, and must
+    // keep reporting the outer worker's slot.
+    parallel_for(0, 10, 3, [&](std::size_t lo, std::size_t hi,
+                               std::size_t inner_slot) {
+      EXPECT_EQ(inner_slot, slot);
+      inner_total.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_EQ(inner_total.load(), 80u);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST_F(ParallelTest, SetThreadsInsideRegionThrows) {
+  set_threads(2);
+  EXPECT_THROW(
+      parallel_for(0, 4, 1,
+                   [](std::size_t, std::size_t, std::size_t) { set_threads(3); }),
+      std::logic_error);
+  EXPECT_THROW(set_threads(-1), std::invalid_argument);
+}
+
+TEST_F(ParallelTest, SequentialFallbackRunsOnCallingThread) {
+  set_threads(1);
+  const auto caller = std::this_thread::get_id();
+  parallel_for(0, 16, 4, [&](std::size_t, std::size_t, std::size_t slot) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(slot, 0u);
+  });
+  EXPECT_EQ(max_threads(), 1);
+}
+
+TEST_F(ParallelTest, TaskGroupRunsEveryTaskAndPropagates) {
+  set_threads(4);
+  std::atomic<int> ran{0};
+  TaskGroup group;
+  for (int i = 0; i < 16; ++i) {
+    group.run([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(group.pending(), 16u);
+  group.wait();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(group.pending(), 0u);
+  // Reusable after a wait cycle; exceptions surface from wait().
+  group.run([] { throw std::logic_error{"task"}; });
+  EXPECT_THROW(group.wait(), std::logic_error);
+  group.wait();  // empty group: no-op
+}
+
+TEST_F(ParallelTest, WorkerLocalHasOneSlotPerThread) {
+  set_threads(4);
+  WorkerLocal<std::vector<int>> scratch;
+  EXPECT_EQ(scratch.size(), 4u);
+  parallel_for(0, 128, 1, [&](std::size_t lo, std::size_t, std::size_t slot) {
+    scratch.at(slot).push_back(static_cast<int>(lo));
+  });
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < scratch.size(); ++s) total += scratch.at(s).size();
+  EXPECT_EQ(total, 128u);
+}
+
+TEST(DeriveSeed, StreamsAreDistinctAndStable) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL}) {
+    for (std::uint64_t index = 0; index < 100; ++index) {
+      seeds.insert(derive_seed(base, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 300u);
+}
+
+}  // namespace
+}  // namespace vqoe::par

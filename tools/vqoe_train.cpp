@@ -13,6 +13,7 @@
 
 #include "vqoe/core/model_io.h"
 #include "vqoe/core/pipeline.h"
+#include "vqoe/par/parallel.h"
 #include "vqoe/trace/csv.h"
 #include "vqoe/workload/corpus.h"
 
@@ -31,7 +32,12 @@ const char* arg_value(int argc, char** argv, const char* name) {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: vqoe_train --out=DIR (--weblogs=CSV --truth=CSV | "
-               "--generate=N [--seed=N])\n");
+               "--generate=N [--seed=N]) [--threads=N]\n"
+               "  --threads=N  worker threads for corpus generation and "
+               "training (0 = auto,\n"
+               "               1 = sequential; also settable via "
+               "VQOE_THREADS). Results are\n"
+               "               identical for every thread count.\n");
   std::exit(2);
 }
 
@@ -41,6 +47,11 @@ int main(int argc, char** argv) {
   using namespace vqoe;
   const char* out = arg_value(argc, argv, "--out");
   if (!out) usage();
+
+  if (const char* threads_arg = arg_value(argc, argv, "--threads")) {
+    par::set_threads(static_cast<int>(std::strtol(threads_arg, nullptr, 10)));
+  }
+  std::printf("parallel runtime: %d thread(s)\n", par::max_threads());
 
   std::vector<core::SessionRecord> sessions;
   if (const char* generate = arg_value(argc, argv, "--generate")) {
