@@ -1,24 +1,50 @@
 // Shared google-benchmark entry point that makes every perf binary emit
 // machine-readable results by default: unless the caller already passed
 // --benchmark_out, results are also written as JSON to a fixed file
-// (BENCH_pipeline.json / BENCH_engine.json / BENCH_train.json) in the
-// working directory, so the perf trajectory is tracked across PRs without
-// remembering the flags. Console output is unchanged.
+// (BENCH_pipeline.json / BENCH_engine.json / BENCH_train.json /
+// BENCH_predict.json) in the working directory, so the perf trajectory is
+// tracked across PRs without remembering the flags. Console output is
+// unchanged.
+//
+// The entry point also defaults to repeated trials (3 repetitions,
+// aggregates only) so every BENCH_*.json row is a median with min/max
+// spread rather than a single noisy sample; pass --benchmark_repetitions
+// explicitly to override. Register benchmarks through perf_defaults() to
+// pick up the warmup window and the min/max aggregate statistics.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace vqoe::bench {
 
+/// Standard registration defaults for perf_* binaries, applied with
+/// ->Apply(vqoe::bench::perf_defaults): a short warmup so first-touch page
+/// faults and cold caches stay out of the measured window, plus min/max
+/// across repetitions next to the default mean/median/stddev aggregates.
+inline void perf_defaults(benchmark::internal::Benchmark* b) {
+  b->MinWarmUpTime(0.1);
+  b->ComputeStatistics("min", [](const std::vector<double>& v) {
+    return *std::min_element(v.begin(), v.end());
+  });
+  b->ComputeStatistics("max", [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end());
+  });
+}
+
 inline int run_benchmarks_with_default_json(int argc, char** argv,
                                             const char* default_out) {
   bool has_out = false;
+  bool has_repetitions = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_repetitions", 23) == 0) {
+      has_repetitions = true;
+    }
   }
 
   std::vector<char*> args(argv, argv + argc);
@@ -28,6 +54,14 @@ inline int run_benchmarks_with_default_json(int argc, char** argv,
     out_flag = std::string{"--benchmark_out="} + default_out;
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());
+  }
+  // Repeated trials by default; aggregates-only keeps the per-repetition
+  // rows out of the JSON so downstream tooling always reads the median.
+  std::string repetitions_flag = "--benchmark_repetitions=3";
+  std::string aggregates_flag = "--benchmark_report_aggregates_only=true";
+  if (!has_repetitions) {
+    args.push_back(repetitions_flag.data());
+    args.push_back(aggregates_flag.data());
   }
 
   int patched_argc = static_cast<int>(args.size());

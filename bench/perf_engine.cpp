@@ -54,7 +54,7 @@ void BM_SingleThreadedMonitor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records.size()));
 }
-BENCHMARK(BM_SingleThreadedMonitor)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_SingleThreadedMonitor)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 void BM_EngineThroughput(benchmark::State& state) {
   const auto& records = live_records();
@@ -79,7 +79,7 @@ BENCHMARK(BM_EngineThroughput)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 /// Raw ring transfer rate: how fast the ingest channel itself moves items
 /// (upper bound on per-shard routing throughput).
@@ -107,7 +107,7 @@ void BM_SpscQueueTransfer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(kBatch));
 }
-BENCHMARK(BM_SpscQueueTransfer)->UseRealTime();
+BENCHMARK(BM_SpscQueueTransfer)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 }  // namespace
 

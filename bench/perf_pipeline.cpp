@@ -56,7 +56,7 @@ void BM_StallFeatureConstruction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(chunks.size()));
 }
-BENCHMARK(BM_StallFeatureConstruction);
+BENCHMARK(BM_StallFeatureConstruction)->Apply(vqoe::bench::perf_defaults);
 
 void BM_RepresentationFeatureConstruction(benchmark::State& state) {
   const auto& chunks = sample_chunks();
@@ -66,7 +66,7 @@ void BM_RepresentationFeatureConstruction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(chunks.size()));
 }
-BENCHMARK(BM_RepresentationFeatureConstruction);
+BENCHMARK(BM_RepresentationFeatureConstruction)->Apply(vqoe::bench::perf_defaults);
 
 void BM_StallInference(benchmark::State& state) {
   const auto& pipeline = trained_pipeline();
@@ -76,7 +76,7 @@ void BM_StallInference(benchmark::State& state) {
         pipeline.stall_detector().classify_features(features));
   }
 }
-BENCHMARK(BM_StallInference);
+BENCHMARK(BM_StallInference)->Apply(vqoe::bench::perf_defaults);
 
 void BM_FullSessionAssessment(benchmark::State& state) {
   const auto& pipeline = trained_pipeline();
@@ -85,7 +85,7 @@ void BM_FullSessionAssessment(benchmark::State& state) {
     benchmark::DoNotOptimize(pipeline.assess(chunks));
   }
 }
-BENCHMARK(BM_FullSessionAssessment);
+BENCHMARK(BM_FullSessionAssessment)->Apply(vqoe::bench::perf_defaults);
 
 void BM_CusumScore(benchmark::State& state) {
   const core::SwitchDetector detector;
@@ -94,7 +94,7 @@ void BM_CusumScore(benchmark::State& state) {
     benchmark::DoNotOptimize(detector.score(chunks));
   }
 }
-BENCHMARK(BM_CusumScore);
+BENCHMARK(BM_CusumScore)->Apply(vqoe::bench::perf_defaults);
 
 void BM_SessionReconstruction(benchmark::State& state) {
   static const auto weblogs = [] {
@@ -109,7 +109,7 @@ void BM_SessionReconstruction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(weblogs.size()));
 }
-BENCHMARK(BM_SessionReconstruction);
+BENCHMARK(BM_SessionReconstruction)->Apply(vqoe::bench::perf_defaults);
 
 void BM_FlowExport(benchmark::State& state) {
   static const auto weblogs = [] {
@@ -125,7 +125,7 @@ void BM_FlowExport(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(weblogs.size()));
 }
-BENCHMARK(BM_FlowExport)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlowExport)->Unit(benchmark::kMillisecond)->Apply(vqoe::bench::perf_defaults);
 
 void BM_BurstReassembly(benchmark::State& state) {
   static const auto slices = [] {
@@ -142,7 +142,7 @@ void BM_BurstReassembly(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(slices.size()));
 }
-BENCHMARK(BM_BurstReassembly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BurstReassembly)->Unit(benchmark::kMillisecond)->Apply(vqoe::bench::perf_defaults);
 
 void BM_SimulateSession(benchmark::State& state) {
   std::uint64_t seed = 1;
@@ -150,7 +150,7 @@ void BM_SimulateSession(benchmark::State& state) {
     benchmark::DoNotOptimize(workload::demo_switch_session(seed++));
   }
 }
-BENCHMARK(BM_SimulateSession);
+BENCHMARK(BM_SimulateSession)->Apply(vqoe::bench::perf_defaults);
 
 void BM_ForestTraining(benchmark::State& state) {
   par::set_threads(static_cast<int>(state.range(1)));
@@ -173,7 +173,7 @@ void BM_ForestTraining(benchmark::State& state) {
 BENCHMARK(BM_ForestTraining)
     ->ArgsProduct({{10, 40}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 }  // namespace
 

@@ -54,7 +54,7 @@ BENCHMARK(BM_ParallelForestFit)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 void BM_ParallelPredictAll(benchmark::State& state) {
   const auto& data = stall_dataset();
@@ -77,7 +77,7 @@ BENCHMARK(BM_ParallelPredictAll)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
-    ->UseRealTime();
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 void BM_ParallelCrossValidation(benchmark::State& state) {
   par::set_threads(static_cast<int>(state.range(0)));
@@ -98,7 +98,7 @@ BENCHMARK(BM_ParallelCrossValidation)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 void BM_ParallelCorpusGeneration(benchmark::State& state) {
   par::set_threads(static_cast<int>(state.range(0)));
@@ -118,7 +118,7 @@ BENCHMARK(BM_ParallelCorpusGeneration)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
 }  // namespace
 

@@ -77,6 +77,13 @@ std::vector<double> project_vector(std::span<const double> full,
   return out;
 }
 
+/// project_vector into a reused buffer (the scratch classify path).
+void project_into(std::span<const double> full,
+                  std::span<const std::size_t> idx, std::vector<double>& out) {
+  out.resize(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) out[i] = full[idx[i]];
+}
+
 }  // namespace
 
 ml::Dataset build_stall_dataset(std::span<const std::vector<ChunkObs>> sessions,
@@ -104,6 +111,14 @@ StallDetector StallDetector::train(const ml::Dataset& data,
 
 StallLabel StallDetector::classify(std::span<const ChunkObs> chunks) const {
   return classify_features(stall_features(chunks));
+}
+
+StallLabel StallDetector::classify(std::span<const ChunkObs> chunks,
+                                   DetectorScratch& scratch) const {
+  if (!trained()) throw std::logic_error{"StallDetector: not trained"};
+  stall_features_into(chunks, scratch.features);
+  project_into(scratch.features, selected_idx_, scratch.projected);
+  return static_cast<StallLabel>(forest_.predict(scratch.projected));
 }
 
 StallLabel StallDetector::classify_features(std::span<const double> features) const {
@@ -137,6 +152,16 @@ RepresentationDetector RepresentationDetector::train(
 
 ReprLabel RepresentationDetector::classify(std::span<const ChunkObs> chunks) const {
   return classify_features(representation_features(chunks));
+}
+
+ReprLabel RepresentationDetector::classify(std::span<const ChunkObs> chunks,
+                                           DetectorScratch& scratch) const {
+  if (!trained()) {
+    throw std::logic_error{"RepresentationDetector: not trained"};
+  }
+  representation_features_into(chunks, scratch.features);
+  project_into(scratch.features, selected_idx_, scratch.projected);
+  return static_cast<ReprLabel>(forest_.predict(scratch.projected));
 }
 
 ReprLabel RepresentationDetector::classify_features(

@@ -103,15 +103,15 @@ std::vector<std::string> make_names(std::span<const std::string> metrics,
   return names;
 }
 
-std::vector<double> make_features(std::span<const NamedSeries> metrics,
-                                  std::span<const ts::Statistic> stats) {
-  std::vector<double> out;
+void append_features(std::span<const NamedSeries> metrics,
+                     std::span<const ts::Statistic> stats,
+                     std::vector<double>& out) {
+  out.clear();
   out.reserve(metrics.size() * stats.size());
   for (const NamedSeries& metric : metrics) {
     const auto values = ts::compute_all(stats, metric.values);
     out.insert(out.end(), values.begin(), values.end());
   }
-  return out;
 }
 
 const std::vector<std::string> kStallMetricNames = {
@@ -157,8 +157,15 @@ const std::vector<std::string>& stall_feature_names() {
 }
 
 std::vector<double> stall_features(std::span<const ChunkObs> chunks) {
+  std::vector<double> out;
+  stall_features_into(chunks, out);
+  return out;
+}
+
+void stall_features_into(std::span<const ChunkObs> chunks,
+                         std::vector<double>& out) {
   const MetricSeries m = extract_series(chunks);
-  return make_features(stall_metric_set(m), ts::stall_statistic_set());
+  append_features(stall_metric_set(m), ts::stall_statistic_set(), out);
 }
 
 const std::vector<std::string>& representation_feature_names() {
@@ -168,9 +175,16 @@ const std::vector<std::string>& representation_feature_names() {
 }
 
 std::vector<double> representation_features(std::span<const ChunkObs> chunks) {
+  std::vector<double> out;
+  representation_features_into(chunks, out);
+  return out;
+}
+
+void representation_features_into(std::span<const ChunkObs> chunks,
+                                  std::vector<double>& out) {
   const MetricSeries m = extract_series(chunks);
-  return make_features(representation_metric_set(m),
-                       ts::representation_statistic_set());
+  append_features(representation_metric_set(m),
+                  ts::representation_statistic_set(), out);
 }
 
 std::vector<double> switch_signal(std::span<const ChunkObs> chunks,

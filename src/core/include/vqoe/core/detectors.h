@@ -38,6 +38,18 @@ namespace vqoe::core {
     std::span<const std::vector<ChunkObs>> sessions,
     std::span<const ReprLabel> labels);
 
+/// Reusable buffers for the streaming classification path. The allocating
+/// classify()/classify_features() overloads build a fresh feature vector
+/// and projection per call; long-lived scorers (OnlineMonitor, each engine
+/// shard) own one DetectorScratch and pass it to the scratch overloads so
+/// per-session heap traffic disappears. Not for concurrent sharing — one
+/// instance per scoring thread.
+struct DetectorScratch {
+  std::vector<double> features;   ///< full 70-/210-dim feature vector
+  std::vector<double> projected;  ///< selected columns, forest input order
+  std::vector<double> proba;      ///< class-distribution output buffer
+};
+
 /// Shared configuration of the two forest-based detectors.
 struct ForestDetectorConfig {
   ml::ForestParams forest{.num_trees = 60, .tree = {}, .seed = 1,
@@ -65,6 +77,11 @@ class StallDetector {
 
   /// Classifies one session from its operator-visible chunk view.
   [[nodiscard]] StallLabel classify(std::span<const ChunkObs> chunks) const;
+
+  /// classify() through caller-owned scratch buffers: no per-call heap
+  /// allocation (the streaming monitors' hot path).
+  [[nodiscard]] StallLabel classify(std::span<const ChunkObs> chunks,
+                                    DetectorScratch& scratch) const;
 
   /// Classifies a precomputed full (70-dim) stall feature vector.
   [[nodiscard]] StallLabel classify_features(std::span<const double> features) const;
@@ -97,6 +114,9 @@ class RepresentationDetector {
                                       const ForestDetectorConfig& config = {});
 
   [[nodiscard]] ReprLabel classify(std::span<const ChunkObs> chunks) const;
+  /// classify() through caller-owned scratch buffers (no per-call heap).
+  [[nodiscard]] ReprLabel classify(std::span<const ChunkObs> chunks,
+                                   DetectorScratch& scratch) const;
   [[nodiscard]] ReprLabel classify_features(std::span<const double> features) const;
 
   [[nodiscard]] const std::vector<std::string>& selected_features() const {

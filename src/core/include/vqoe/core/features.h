@@ -65,12 +65,22 @@ struct ChunkObs {
 /// The 70-dimensional stall feature vector of a session.
 [[nodiscard]] std::vector<double> stall_features(std::span<const ChunkObs> chunks);
 
+/// stall_features() into a caller-owned buffer (cleared, then filled) —
+/// the streaming monitors reuse one buffer across sessions instead of
+/// allocating a fresh vector per classification.
+void stall_features_into(std::span<const ChunkObs> chunks,
+                         std::vector<double>& out);
+
 /// Names of the 210 representation-detection features.
 [[nodiscard]] const std::vector<std::string>& representation_feature_names();
 
 /// The 210-dimensional representation feature vector of a session.
 [[nodiscard]] std::vector<double> representation_features(
     std::span<const ChunkObs> chunks);
+
+/// representation_features() into a caller-owned buffer (cleared, filled).
+void representation_features_into(std::span<const ChunkObs> chunks,
+                                  std::vector<double>& out);
 
 /// The switch-detection time series Δsize x Δt (KB·s) over consecutive
 /// chunks, after dropping the first `skip_initial_s` seconds of the session

@@ -87,6 +87,10 @@ class OnlineMonitor {
 
   const QoePipeline& pipeline_;
   OnlineMonitorConfig config_;
+  /// Classification buffers reused across every session this monitor
+  /// scores (the monitor is single-threaded; engine shards each own one
+  /// monitor and therefore one scratch).
+  DetectorScratch scratch_;
   std::unordered_map<std::string, OpenSession, TransparentStringHash,
                      std::equal_to<>>
       open_;

@@ -79,6 +79,13 @@ class QoePipeline {
   /// Assesses one session from its chunk view.
   [[nodiscard]] QoeReport assess(std::span<const ChunkObs> chunks) const;
 
+  /// assess() through caller-owned scratch buffers: the feature vectors
+  /// and forest-input projections of both detectors reuse `scratch`
+  /// instead of allocating per session. One scratch per scoring thread
+  /// (OnlineMonitor and each engine shard own theirs).
+  [[nodiscard]] QoeReport assess(std::span<const ChunkObs> chunks,
+                                 DetectorScratch& scratch) const;
+
   [[nodiscard]] const StallDetector& stall_detector() const { return stall_; }
   [[nodiscard]] const RepresentationDetector& representation_detector() const {
     return repr_;

@@ -23,7 +23,7 @@ void OnlineMonitor::close(std::string_view subscriber,
   done.start_time_s = session.start_time_s;
   done.end_time_s = session.last_activity_s;
   done.chunk_count = session.chunks.size();
-  done.report = pipeline_.assess(session.chunks);
+  done.report = pipeline_.assess(session.chunks, scratch_);
   ++reported_;
   out.push_back(std::move(done));
 }

@@ -92,9 +92,15 @@ QoePipeline QoePipeline::from_parts(StallDetector stall,
 }
 
 QoeReport QoePipeline::assess(std::span<const ChunkObs> chunks) const {
+  DetectorScratch scratch;
+  return assess(chunks, scratch);
+}
+
+QoeReport QoePipeline::assess(std::span<const ChunkObs> chunks,
+                              DetectorScratch& scratch) const {
   QoeReport report;
-  report.stall = stall_.classify(chunks);
-  if (repr_.trained()) report.representation = repr_.classify(chunks);
+  report.stall = stall_.classify(chunks, scratch);
+  if (repr_.trained()) report.representation = repr_.classify(chunks, scratch);
   report.switch_score = switch_.score(chunks);
   report.quality_switches = report.switch_score > switch_.config().threshold;
   return report;

@@ -31,6 +31,17 @@ struct TreeParams {
 /// A trained classification tree. Immutable after training.
 class DecisionTree {
  public:
+  /// Training/persistence node layout. Inference-oriented consumers
+  /// (CompactForest) read this through nodes()/leaf_probas() and compile
+  /// their own representation.
+  struct Node {
+    std::int32_t feature = -1;   ///< -1 marks a leaf.
+    double threshold = 0.0;      ///< go left when x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t proba_offset = -1;  ///< leaves: index into leaf_probas().
+  };
+
   DecisionTree() = default;
 
   /// Fits a tree on the rows of `data` given by `row_indices` (duplicates
@@ -52,6 +63,9 @@ class DecisionTree {
   [[nodiscard]] int predict(std::span<const double> features) const;
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
+  /// Concatenated per-leaf class distributions Node::proba_offset indexes.
+  [[nodiscard]] std::span<const double> leaf_probas() const { return probas_; }
   [[nodiscard]] std::size_t leaf_count() const;
   [[nodiscard]] int depth() const;
   [[nodiscard]] bool trained() const { return !nodes_.empty(); }
@@ -77,14 +91,6 @@ class DecisionTree {
       std::span<const std::string> class_names = {}) const;
 
  private:
-  struct Node {
-    std::int32_t feature = -1;   ///< -1 marks a leaf.
-    double threshold = 0.0;      ///< go left when x[feature] <= threshold
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    std::int32_t proba_offset = -1;  ///< leaves: index into probas_.
-  };
-
   std::vector<Node> nodes_;
   std::vector<double> probas_;  ///< concatenated per-leaf class distributions
   std::vector<double> importance_;

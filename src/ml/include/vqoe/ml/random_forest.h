@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <random>
 #include <span>
@@ -18,6 +19,8 @@
 #include "vqoe/ml/decision_tree.h"
 
 namespace vqoe::ml {
+
+class CompactForest;
 
 struct ForestParams {
   int num_trees = 60;
@@ -47,6 +50,12 @@ class RandomForest {
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> features) const;
 
+  /// Allocation-free predict_proba: writes the normalized distribution into
+  /// `out` (size must be num_classes()). Streaming callers keep one scratch
+  /// buffer per monitor/shard instead of constructing a vector per session.
+  void predict_proba_into(std::span<const double> features,
+                          std::span<double> out) const;
+
   /// Predicts every row of a dataset that has the same column layout as the
   /// training data (checked by name). Rows are partitioned across the
   /// vqoe::par pool; each worker reuses one vote buffer for its whole
@@ -63,6 +72,18 @@ class RandomForest {
     return feature_names_;
   }
   [[nodiscard]] bool trained() const { return !trees_.empty(); }
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// The flattened inference representation (compact_forest.h), compiled
+  /// and cached by fit() and load(); null only on a default-constructed
+  /// forest. Shared (immutable) across copies of this forest.
+  [[nodiscard]] const CompactForest* compact() const { return compact_.get(); }
+
+  /// Routes predict/predict_proba/predict_all through the cached
+  /// CompactForest (default) or the legacy tree-walking path. The off
+  /// switch exists for benchmarking the layouts against each other.
+  void set_use_compact(bool use) { use_compact_ = use; }
+  [[nodiscard]] bool use_compact() const { return use_compact_; }
 
   /// Out-of-bag accuracy estimate; present only when params.compute_oob.
   [[nodiscard]] std::optional<double> oob_accuracy() const { return oob_accuracy_; }
@@ -84,11 +105,22 @@ class RandomForest {
   void accumulate_votes(std::span<const double> features,
                         std::span<double> votes) const;
 
+  /// Compiles and caches the CompactForest; fit()/load() epilogue. Throws
+  /// std::invalid_argument when a loaded tree is malformed in a way the
+  /// per-tree bounds checks cannot see (cycles, shared subtrees).
+  void compile_compact();
+
+  [[nodiscard]] bool compact_active() const {
+    return use_compact_ && compact_ != nullptr;
+  }
+
   std::vector<DecisionTree> trees_;
   std::vector<std::string> feature_names_;
   std::vector<double> importance_raw_;
   std::size_t num_classes_ = 0;
   std::optional<double> oob_accuracy_;
+  std::shared_ptr<const CompactForest> compact_;
+  bool use_compact_ = true;
 };
 
 }  // namespace vqoe::ml

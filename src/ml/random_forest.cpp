@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "vqoe/ml/binning.h"
+#include "vqoe/ml/compact_forest.h"
 #include "vqoe/par/parallel.h"
 
 namespace vqoe::ml {
@@ -128,7 +129,12 @@ RandomForest RandomForest::fit(const Dataset& data, const ForestParams& params) 
           static_cast<double>(correct) / static_cast<double>(counted);
     }
   }
+  forest.compile_compact();
   return forest;
+}
+
+void RandomForest::compile_compact() {
+  compact_ = std::make_shared<const CompactForest>(CompactForest::compile(*this));
 }
 
 void RandomForest::accumulate_votes(std::span<const double> features,
@@ -142,15 +148,30 @@ void RandomForest::accumulate_votes(std::span<const double> features,
 std::vector<double> RandomForest::predict_proba(
     std::span<const double> features) const {
   std::vector<double> votes(num_classes_, 0.0);
-  accumulate_votes(features, votes);
-  const double total = std::accumulate(votes.begin(), votes.end(), 0.0);
-  if (total > 0.0) {
-    for (double& v : votes) v /= total;
-  }
+  predict_proba_into(features, votes);
   return votes;
 }
 
+void RandomForest::predict_proba_into(std::span<const double> features,
+                                      std::span<double> out) const {
+  if (out.size() != num_classes_) {
+    throw std::invalid_argument{
+        "RandomForest::predict_proba_into: output span size mismatch"};
+  }
+  if (compact_active()) {
+    compact_->predict_proba_into(features, out);
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  accumulate_votes(features, out);
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  }
+}
+
 int RandomForest::predict(std::span<const double> features) const {
+  if (compact_active()) return compact_->predict(features);
   // Max-vote into a stack buffer: normalizing and heap-allocating a proba
   // vector per call dominated the old single-row hot path.
   std::array<double, 16> stack_votes{};
@@ -171,6 +192,7 @@ std::vector<int> RandomForest::predict_all(const Dataset& data) const {
     throw std::invalid_argument{
         "RandomForest::predict_all: feature layout differs from training"};
   }
+  if (compact_active()) return compact_->predict_all(data);
   std::vector<int> out(data.rows());
   par::WorkerLocal<std::vector<double>> votes;
   par::parallel_for(
@@ -191,6 +213,7 @@ std::vector<double> RandomForest::predict_proba_all(const Dataset& data) const {
     throw std::invalid_argument{
         "RandomForest::predict_proba_all: feature layout differs from training"};
   }
+  if (compact_active()) return compact_->predict_proba_all(data);
   std::vector<double> out(data.rows() * num_classes_, 0.0);
   par::parallel_for(
       0, data.rows(), 64, [&](std::size_t lo, std::size_t hi, std::size_t) {
@@ -267,6 +290,16 @@ RandomForest RandomForest::load(std::istream& is) {
     forest.trees_.push_back(DecisionTree::load(is));
     if (forest.trees_.back().num_classes() != forest.num_classes_) {
       throw std::runtime_error{"RandomForest::load: tree class mismatch"};
+    }
+  }
+  // Compiling also cross-checks what the per-tree loads cannot: feature
+  // indices against this forest's column count, and graph shape (a cyclic
+  // hand-edited tree would otherwise hang prediction).
+  if (forest.trained()) {
+    try {
+      forest.compile_compact();
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error{std::string{"RandomForest::load: "} + e.what()};
     }
   }
   return forest;

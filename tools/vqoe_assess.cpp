@@ -51,10 +51,11 @@ int main(int argc, char** argv) {
   std::printf(
       "subscriber,start_s,chunks,stall,representation,switches,switch_score,"
       "mos\n");
+  core::DetectorScratch scratch;  // reused across all assessed sessions
   for (const auto& s : sessions) {
     const auto chunks = core::chunks_from_session(s);
     if (chunks.empty()) continue;
-    const auto report = pipeline.assess(chunks);
+    const auto report = pipeline.assess(chunks, scratch);
     const double mos = core::mos_from_report(
         report, core::estimate_startup_delay(chunks));
     std::printf("%s,%.3f,%zu,%s,%s,%d,%.1f,%.2f\n", s.subscriber_id.c_str(),
