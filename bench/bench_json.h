@@ -11,13 +11,20 @@
 // spread rather than a single noisy sample; pass --benchmark_repetitions
 // explicitly to override. Register benchmarks through perf_defaults() to
 // pick up the warmup window and the min/max aggregate statistics.
+// Every BENCH_*.json additionally carries provenance in its `context`
+// block — git SHA and build type (stamped in by bench/CMakeLists.txt at
+// configure time), hardware thread count and a UTC run timestamp — so a
+// number in the perf trajectory can always be traced back to the commit
+// and machine shape that produced it.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace vqoe::bench {
@@ -34,6 +41,26 @@ inline void perf_defaults(benchmark::internal::Benchmark* b) {
   b->ComputeStatistics("max", [](const std::vector<double>& v) {
     return *std::max_element(v.begin(), v.end());
   });
+}
+
+/// Stamps run provenance into the benchmark context (console and JSON).
+/// VQOE_GIT_SHA / VQOE_BUILD_TYPE come from bench/CMakeLists.txt; a build
+/// outside a git checkout reports "unknown".
+inline void add_run_metadata() {
+#ifdef VQOE_GIT_SHA
+  benchmark::AddCustomContext("git_sha", VQOE_GIT_SHA);
+#endif
+#ifdef VQOE_BUILD_TYPE
+  benchmark::AddCustomContext("build_type", VQOE_BUILD_TYPE);
+#endif
+  benchmark::AddCustomContext(
+      "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  benchmark::AddCustomContext("run_timestamp_utc", stamp);
 }
 
 inline int run_benchmarks_with_default_json(int argc, char** argv,
@@ -69,6 +96,7 @@ inline int run_benchmarks_with_default_json(int argc, char** argv,
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
     return 1;
   }
+  add_run_metadata();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

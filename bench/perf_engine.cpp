@@ -9,6 +9,7 @@
 // without giving up the per-subscriber ordering the monitor needs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "bench_json.h"
@@ -59,6 +60,7 @@ BENCHMARK(BM_SingleThreadedMonitor)->Unit(benchmark::kMillisecond)->UseRealTime(
 void BM_EngineThroughput(benchmark::State& state) {
   const auto& records = live_records();
   std::size_t completed = 0;
+  std::size_t queue_peak = 0;
   for (auto _ : state) {
     engine::EngineConfig config;
     config.shards = static_cast<std::size_t>(state.range(0));
@@ -67,11 +69,17 @@ void BM_EngineThroughput(benchmark::State& state) {
     engine::MonitorEngine eng{trained_pipeline(), config};
     for (const auto& record : records) eng.ingest(record);
     completed += eng.drain().size();
+    for (const auto& shard : eng.stats().shards) {
+      queue_peak = std::max(queue_peak, shard.queue_peak);
+    }
   }
   benchmark::DoNotOptimize(completed);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records.size()));
   state.counters["shards"] = static_cast<double>(state.range(0));
+  // How full the busiest shard queue got: capacity here means ingest was
+  // fully backpressured, small numbers mean the workers kept up.
+  state.counters["queue_peak"] = static_cast<double>(queue_peak);
 }
 BENCHMARK(BM_EngineThroughput)
     ->Arg(1)

@@ -1,0 +1,216 @@
+// Wire throughput benchmarks (google-benchmark, JSON to BENCH_wire.json).
+//
+// The ISSUE-4 acceptance bar is a single-threaded encode+decode round trip
+// of at least 1M records/sec — the codec must never be the bottleneck in
+// front of an engine that ingests millions of records per second. The
+// spool benchmarks price durability (one write(2) per frame, batched
+// fsync), and the loopback pair measures the full probe → collector →
+// engine path over real TCP against direct in-process ingest, so the
+// transport's overhead is a tracked number rather than a guess.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "vqoe/engine/engine.h"
+#include "vqoe/wire/codec.h"
+#include "vqoe/wire/crc32c.h"
+#include "vqoe/wire/spool.h"
+#include "vqoe/wire/transport.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+using namespace vqoe;
+namespace fs = std::filesystem;
+
+const core::QoePipeline& trained_pipeline() {
+  static const auto pipeline = [] {
+    auto options = workload::has_corpus_options(400, 42);
+    options.keep_session_results = false;
+    return core::QoePipeline::train(
+        core::sessions_from_corpus(workload::generate_corpus(options)));
+  }();
+  return pipeline;
+}
+
+/// The same multi-subscriber encrypted feed perf_engine measures against.
+const std::vector<trace::WeblogRecord>& live_records() {
+  static const auto records = [] {
+    auto options = workload::cleartext_corpus_options(800, 99);
+    options.adaptive_fraction = 1.0;
+    options.subscribers = 64;
+    options.keep_session_results = false;
+    return trace::encrypt_view(workload::generate_corpus(options).weblogs);
+  }();
+  return records;
+}
+
+fs::path bench_spool_dir() {
+  return fs::temp_directory_path() /
+         ("vqoe_perf_wire_" + std::to_string(::getpid()));
+}
+
+void BM_EncodeRecords(benchmark::State& state) {
+  const auto& records = live_records();
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    wire::encode_batch(records, wire::kWireVersionMax, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+  state.counters["bytes_per_record"] =
+      static_cast<double>(buf.size()) / static_cast<double>(records.size());
+}
+BENCHMARK(BM_EncodeRecords)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+void BM_DecodeRecords(benchmark::State& state) {
+  const auto& records = live_records();
+  std::vector<std::uint8_t> buf;
+  wire::encode_batch(records, wire::kWireVersionMax, buf);
+  for (auto _ : state) {
+    auto decoded = wire::decode_batch(buf.data(), buf.size(),
+                                      wire::kWireVersionMax);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_DecodeRecords)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+/// The acceptance number: full encode+decode round trip, single thread —
+/// items/sec here must clear 1M records/sec.
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const auto& records = live_records();
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    wire::encode_batch(records, wire::kWireVersionMax, buf);
+    auto decoded = wire::decode_batch(buf.data(), buf.size(),
+                                      wire::kWireVersionMax);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_CodecRoundTrip)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto& records = live_records();
+  std::vector<std::uint8_t> buf;
+  wire::encode_batch(records, wire::kWireVersionMax, buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::crc32c(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32c)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+void BM_SpoolWrite(benchmark::State& state) {
+  const auto& records = live_records();
+  const auto dir = bench_spool_dir();
+  constexpr std::size_t kBatch = 512;
+  for (auto _ : state) {
+    wire::SpoolWriter writer{dir};  // O_TRUNC: each iteration rewrites
+    for (std::size_t i = 0; i < records.size(); i += kBatch) {
+      writer.append(records.data() + i,
+                    std::min(kBatch, records.size() - i));
+    }
+    writer.close();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(fs::file_size(dir / "spool-000000.vqs")));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SpoolWrite)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+void BM_SpoolRead(benchmark::State& state) {
+  const auto& records = live_records();
+  const auto dir = bench_spool_dir();
+  {
+    wire::SpoolWriter writer{dir};
+    constexpr std::size_t kBatch = 512;
+    for (std::size_t i = 0; i < records.size(); i += kBatch) {
+      writer.append(records.data() + i,
+                    std::min(kBatch, records.size() - i));
+    }
+    writer.close();
+  }
+  for (auto _ : state) {
+    auto replayed = wire::read_spool(dir);
+    benchmark::DoNotOptimize(replayed.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SpoolRead)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+/// Baseline for the loopback number: the same feed pushed straight into
+/// Engine::ingest from this thread (no sockets, no codec).
+void BM_DirectEngineIngest(benchmark::State& state) {
+  const auto& records = live_records();
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    engine::EngineConfig config;
+    config.shards = 4;
+    engine::MonitorEngine eng{trained_pipeline(), config};
+    for (const auto& record : records) eng.ingest(record);
+    completed += eng.drain().size();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_DirectEngineIngest)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+/// End-to-end over real TCP loopback: encode → frame+CRC → socket →
+/// decode → merge → Engine::ingest, one probe, unthrottled.
+void BM_LoopbackProbeToEngine(benchmark::State& state) {
+  const auto& records = live_records();
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    engine::EngineConfig engine_config;
+    engine_config.shards = 4;
+    engine::MonitorEngine eng{trained_pipeline(), engine_config};
+
+    wire::CollectorConfig config;
+    config.port = 0;
+    config.expected_probes = 1;
+    wire::Collector collector{config};
+    std::thread server([&] {
+      (void)collector.run(
+          [&](const trace::WeblogRecord& record) { eng.ingest(record); });
+    });
+
+    wire::ProbeOptions probe_options;
+    probe_options.port = collector.port();
+    wire::Probe probe{probe_options};
+    probe.send(records);
+    probe.finish();
+    server.join();
+    completed += eng.drain().size();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_LoopbackProbeToEngine)->Unit(benchmark::kMillisecond)->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
+}  // namespace
+
+VQOE_BENCHMARK_MAIN_JSON("BENCH_wire.json")

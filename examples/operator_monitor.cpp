@@ -103,12 +103,13 @@ int main() {
   for (std::size_t i = 0; i < engine_stats.shards.size(); ++i) {
     const auto& s = engine_stats.shards[i];
     std::printf("    shard %zu: %llu records, %llu sessions, %.1f us/record "
-                "in monitor\n",
+                "in monitor, queue peak %zu\n",
                 i, static_cast<unsigned long long>(s.records_out),
                 static_cast<unsigned long long>(s.sessions_reported),
                 s.records_out ? 1e-3 * static_cast<double>(s.ingest_ns) /
                                     static_cast<double>(s.records_out)
-                              : 0.0);
+                              : 0.0,
+                s.queue_peak);
   }
   std::printf("\n");
 

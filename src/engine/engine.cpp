@@ -39,6 +39,15 @@ void MonitorEngine::push_blocking(Shard& shard, Item&& item) {
   while (!shard.queue.try_push(std::move(item))) backoff(idle_rounds);
 }
 
+void MonitorEngine::note_queue_depth(Shard& shard) {
+  // Single-writer (the ingest thread), so a relaxed read-compare-store is
+  // race-free; stats() only ever reads it.
+  const std::size_t depth = shard.queue.size();
+  if (depth > shard.queue_peak.load(std::memory_order_relaxed)) {
+    shard.queue_peak.store(depth, std::memory_order_relaxed);
+  }
+}
+
 bool MonitorEngine::ingest(const trace::WeblogRecord& record) {
   if (stopped_) return false;
   maybe_watermark(record.timestamp_s);
@@ -51,9 +60,13 @@ bool MonitorEngine::ingest(const trace::WeblogRecord& record) {
   item.record = record;
   if (config_.backpressure == BackpressurePolicy::Block) {
     push_blocking(shard, std::move(item));
+    note_queue_depth(shard);
     return true;
   }
-  if (shard.queue.try_push(std::move(item))) return true;
+  if (shard.queue.try_push(std::move(item))) {
+    note_queue_depth(shard);
+    return true;
+  }
   shard.dropped.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
@@ -183,6 +196,7 @@ EngineStats MonitorEngine::stats() const {
         shard->sessions_discarded.load(std::memory_order_relaxed);
     s.ingest_ns = shard->ingest_ns.load(std::memory_order_relaxed);
     s.queue_depth = shard->queue.size();
+    s.queue_peak = shard->queue_peak.load(std::memory_order_relaxed);
     total.records_in += s.records_in;
     total.records_out += s.records_out;
     total.dropped += s.dropped;

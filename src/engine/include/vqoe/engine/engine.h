@@ -69,6 +69,10 @@ struct ShardStats {
   std::uint64_t sessions_discarded = 0;
   std::uint64_t ingest_ns = 0;        ///< worker time spent inside the monitor
   std::size_t queue_depth = 0;        ///< approximate current occupancy
+  /// High-watermark occupancy observed by the ingest thread: how close the
+  /// shard came to its capacity (= to blocking or shedding). A peak at the
+  /// queue capacity means backpressure actually engaged.
+  std::size_t queue_peak = 0;
 };
 
 /// Engine-wide snapshot: totals plus the per-shard breakdown.
@@ -163,6 +167,7 @@ class MonitorEngine {
     std::atomic<std::uint64_t> sessions_reported{0};
     std::atomic<std::uint64_t> sessions_discarded{0};
     std::atomic<std::uint64_t> ingest_ns{0};
+    std::atomic<std::size_t> queue_peak{0};  ///< written by the ingest thread
 
     std::thread worker;
   };
@@ -170,6 +175,7 @@ class MonitorEngine {
   void worker_loop(Shard& shard);
   void publish(Shard& shard, std::vector<core::CompletedSession>&& done);
   static void push_blocking(Shard& shard, Item&& item);
+  static void note_queue_depth(Shard& shard);
   void maybe_watermark(double now_s);
   void stop_workers();
 

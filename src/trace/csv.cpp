@@ -1,19 +1,86 @@
 #include "vqoe/trace/csv.h"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace vqoe::trace {
 
 namespace {
 
-std::vector<std::string> split(const std::string& line, char sep = ',') {
-  std::vector<std::string> out;
+// RFC-4180 quoting. String fields come from the outside world (subscriber
+// ids, hosts, session ids in real proxy logs), so a comma, quote or line
+// break inside one must not shear the row: such fields are written quoted
+// with embedded quotes doubled, and the reader parses quoted fields —
+// including line breaks inside them — back to the original bytes.
+// Fields that need no quoting are written bare, so generator output files
+// are byte-identical to the pre-quoting format.
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+void put_field(std::ostream& os, const std::string& field) {
+  if (!needs_quoting(field)) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (const char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Reads one CSV row into `fields`, honouring quoted fields (which may
+/// span physical lines). Returns false at a clean end of file. Throws on
+/// a quote left open at EOF — that is a truncated file, not a row.
+bool read_row(std::istream& is, std::vector<std::string>& fields) {
+  fields.clear();
   std::string field;
-  std::istringstream is{line};
-  while (std::getline(is, field, sep)) out.push_back(field);
-  return out;
+  bool in_quotes = false;
+  bool any = false;
+  int got;
+  while ((got = is.get()) != std::char_traits<char>::eof()) {
+    const char c = static_cast<char>(got);
+    if (in_quotes) {
+      if (c == '"') {
+        if (is.peek() == '"') {
+          field.push_back('"');
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      any = true;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      any = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      any = true;
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r' && is.peek() == '\n') {
+      is.get();  // CRLF row terminator
+      break;
+    } else {
+      field.push_back(c);
+      any = true;
+    }
+  }
+  if (in_quotes) {
+    throw std::runtime_error{"unterminated quoted CSV field at end of file"};
+  }
+  if (!any && got == std::char_traits<char>::eof()) return false;
+  fields.push_back(std::move(field));
+  return true;
 }
 
 std::ofstream open_out(const std::filesystem::path& path) {
@@ -42,28 +109,32 @@ void write_weblogs_csv(const std::filesystem::path& path,
         "bif_avg_bytes,bif_max_bytes,loss_pct,retrans_pct,session_id,"
         "itag_height,is_audio\n";
   for (const WeblogRecord& r : records) {
-    os << r.subscriber_id << ',' << r.timestamp_s << ',' << r.transaction_time_s
-       << ',' << r.object_size_bytes << ',' << r.host << ','
-       << static_cast<int>(r.kind) << ',' << (r.encrypted ? 1 : 0) << ','
-       << (r.served_from_cache ? 1 : 0) << ',' << r.transport.rtt_min_ms << ','
-       << r.transport.rtt_avg_ms << ',' << r.transport.rtt_max_ms << ','
-       << r.transport.bdp_bytes << ',' << r.transport.bif_avg_bytes << ','
-       << r.transport.bif_max_bytes << ',' << r.transport.loss_pct << ','
-       << r.transport.retrans_pct << ',' << r.session_id << ','
-       << r.itag_height << ',' << (r.is_audio ? 1 : 0) << '\n';
+    put_field(os, r.subscriber_id);
+    os << ',' << r.timestamp_s << ',' << r.transaction_time_s << ','
+       << r.object_size_bytes << ',';
+    put_field(os, r.host);
+    os << ',' << static_cast<int>(r.kind) << ',' << (r.encrypted ? 1 : 0)
+       << ',' << (r.served_from_cache ? 1 : 0) << ','
+       << r.transport.rtt_min_ms << ',' << r.transport.rtt_avg_ms << ','
+       << r.transport.rtt_max_ms << ',' << r.transport.bdp_bytes << ','
+       << r.transport.bif_avg_bytes << ',' << r.transport.bif_max_bytes << ','
+       << r.transport.loss_pct << ',' << r.transport.retrans_pct << ',';
+    put_field(os, r.session_id);
+    os << ',' << r.itag_height << ',' << (r.is_audio ? 1 : 0) << '\n';
   }
 }
 
 std::vector<WeblogRecord> read_weblogs_csv(const std::filesystem::path& path) {
   auto is = open_in(path);
-  std::string line;
-  std::getline(is, line);  // header
+  std::vector<std::string> f;
+  read_row(is, f);  // header
   std::vector<WeblogRecord> out;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const auto f = split(line);
+  while (read_row(is, f)) {
+    if (f.size() == 1 && f[0].empty()) continue;  // blank line
     if (f.size() != kWeblogFields) {
-      throw std::runtime_error{"malformed weblog CSV row: " + line};
+      throw std::runtime_error{"malformed weblog CSV row: expected " +
+                               std::to_string(kWeblogFields) +
+                               " fields, got " + std::to_string(f.size())};
     }
     WeblogRecord r;
     r.subscriber_id = f[0];
@@ -98,7 +169,10 @@ void write_ground_truth_csv(const std::filesystem::path& path,
         "rebuffering_ratio,average_height,switch_count,switch_amplitude,"
         "startup_delay_s\n";
   for (const SessionGroundTruth& t : truths) {
-    os << t.session_id << ',' << t.subscriber_id << ',' << t.start_time_s << ','
+    put_field(os, t.session_id);
+    os << ',';
+    put_field(os, t.subscriber_id);
+    os << ',' << t.start_time_s << ','
        << t.total_duration_s << ',' << (t.adaptive ? 1 : 0) << ','
        << (t.abandoned ? 1 : 0) << ',' << t.media_chunk_count << ','
        << t.stall_count << ',' << t.stall_duration_s << ','
@@ -111,14 +185,15 @@ void write_ground_truth_csv(const std::filesystem::path& path,
 std::vector<SessionGroundTruth> read_ground_truth_csv(
     const std::filesystem::path& path) {
   auto is = open_in(path);
-  std::string line;
-  std::getline(is, line);  // header
+  std::vector<std::string> f;
+  read_row(is, f);  // header
   std::vector<SessionGroundTruth> out;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const auto f = split(line);
+  while (read_row(is, f)) {
+    if (f.size() == 1 && f[0].empty()) continue;  // blank line
     if (f.size() != kTruthFields) {
-      throw std::runtime_error{"malformed ground-truth CSV row: " + line};
+      throw std::runtime_error{"malformed ground-truth CSV row: expected " +
+                               std::to_string(kTruthFields) +
+                               " fields, got " + std::to_string(f.size())};
     }
     SessionGroundTruth t;
     t.session_id = f[0];

@@ -1,0 +1,400 @@
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <poll.h>
+
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "vqoe/wire/crc32c.h"
+#include "vqoe/wire/spool.h"
+#include "vqoe/wire/transport.h"
+#include "wire_io.h"
+
+namespace vqoe::wire {
+
+using detail::get_u32;
+using detail::put_u32;
+using detail::put_u64;
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+/// Per-probe connection state. The rx buffer is bounded by the ack window:
+/// a probe never has more than `ack_window` unacknowledged frames in
+/// flight, and acks are withheld until the merge has consumed a frame.
+struct Collector::Conn {
+  detail::ScopedFd fd;
+  bool hello_done = false;
+  bool refused = false;   ///< version negotiation failed
+  bool finished = false;  ///< FIN received, stream complete
+  bool dead = false;      ///< socket error / EOF / protocol violation
+  std::vector<std::uint8_t> in;
+  std::size_t in_off = 0;
+  std::vector<std::uint8_t> out;  ///< hello-ack + ack stream
+  std::size_t out_off = 0;
+  std::deque<trace::WeblogRecord> pending;  ///< decoded, not yet merged
+  std::deque<std::uint32_t> frame_records;  ///< unconsumed records per frame
+  std::uint64_t frames_consumed = 0;
+  std::uint64_t frames_ack_sent = 0;
+  double last_key = -std::numeric_limits<double>::infinity();
+  bool saw_record = false;
+};
+
+Collector::Collector(CollectorConfig config) : config_(config) {
+  if (config_.ack_window == 0) config_.ack_window = 1;
+
+  detail::ScopedFd listener{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (listener.get() < 0) detail::throw_errno("cannot create listen socket");
+  const int one = 1;
+  (void)::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    detail::throw_errno("cannot bind collector port " +
+                        std::to_string(config_.port));
+  }
+  if (::listen(listener.get(), 64) != 0) {
+    detail::throw_errno("cannot listen on collector socket");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    detail::throw_errno("cannot read collector port");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listener.get());
+
+  if (::pipe(wake_fds_) != 0) detail::throw_errno("cannot create wake pipe");
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+  listen_fd_ = listener.release();
+}
+
+Collector::~Collector() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+void Collector::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    const std::uint8_t byte = 1;
+    (void)!::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+CollectorStats Collector::run(const Sink& sink) {
+  CollectorStats stats;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::size_t hello_count = 0;   // successfully negotiated probes
+  std::size_t failed_count = 0;  // refused or errored connections
+  std::vector<trace::WeblogRecord> tee_buf;
+  const std::size_t tee_batch =
+      config_.tee_batch_records == 0 ? 512 : config_.tee_batch_records;
+
+  auto fail_conn = [&](Conn& c) {
+    ++stats.protocol_errors;
+    ++failed_count;
+    c.dead = true;
+    c.finished = true;
+    // The stream's integrity is gone; whatever was buffered but not yet
+    // merged must not reach the engine.
+    c.pending.clear();
+    c.frame_records.clear();
+  };
+
+  auto parse = [&](Conn& c) {
+    for (;;) {
+      const std::size_t avail = c.in.size() - c.in_off;
+      const std::uint8_t* p = c.in.data() + c.in_off;
+
+      if (!c.hello_done) {
+        if (avail < kHelloBytes) break;
+        if (get_u32(p) != kHelloMagic) {
+          fail_conn(c);
+          return;
+        }
+        const std::uint8_t peer_min = p[4];
+        const std::uint8_t peer_max = p[5];
+        c.in_off += kHelloBytes;
+        c.hello_done = true;
+
+        const std::uint8_t version =
+            peer_max < kWireVersionMax ? peer_max : kWireVersionMax;
+        const std::uint8_t floor =
+            peer_min > kWireVersionMin ? peer_min : kWireVersionMin;
+        std::uint8_t ack[kHelloAckBytes] = {};
+        put_u32(kHelloAckMagic, ack);
+        if (version < floor) {
+          // No overlap: answer version 0 and drop the connection.
+          c.out.insert(c.out.end(), ack, ack + sizeof ack);
+          c.refused = true;
+          c.finished = true;
+          ++stats.protocol_errors;
+          ++failed_count;
+          return;
+        }
+        ack[4] = version;
+        put_u32(config_.ack_window, ack + 8);
+        c.out.insert(c.out.end(), ack, ack + sizeof ack);
+        ++hello_count;
+        continue;
+      }
+
+      if (c.finished) {
+        if (avail > 0) fail_conn(c);  // bytes after FIN
+        return;
+      }
+      if (avail < kFrameHeaderBytes) break;
+      const std::uint32_t payload_len = get_u32(p);
+      const std::uint32_t crc = get_u32(p + 4);
+      if (payload_len == 0) {
+        if (crc != 0) {
+          fail_conn(c);
+          return;
+        }
+        c.in_off += kFrameHeaderBytes;
+        c.finished = true;
+        ++stats.probes_completed;
+        continue;
+      }
+      if (payload_len > kMaxFramePayloadBytes) {
+        fail_conn(c);
+        return;
+      }
+      if (avail < kFrameHeaderBytes + payload_len) break;
+      const std::uint8_t* payload = p + kFrameHeaderBytes;
+      if (crc32c(payload, payload_len) != crc) {
+        fail_conn(c);
+        return;
+      }
+      std::vector<trace::WeblogRecord> records;
+      try {
+        records = decode_batch(payload, payload_len, kWireVersionMax);
+      } catch (const WireError&) {
+        fail_conn(c);
+        return;
+      }
+      c.in_off += kFrameHeaderBytes + payload_len;
+      ++stats.frames_received;
+      stats.records_received += records.size();
+      if (records.empty()) {
+        ++c.frames_consumed;  // nothing to merge; ack immediately
+        continue;
+      }
+      for (auto& r : records) {
+        // Each probe must stream in merge-key order or the k-way merge
+        // cannot reconstruct a globally sorted feed.
+        const double key = merge_key_of(r, config_.merge_key);
+        if (c.saw_record && key < c.last_key) {
+          fail_conn(c);
+          return;
+        }
+        c.saw_record = true;
+        c.last_key = key;
+        c.pending.push_back(std::move(r));
+      }
+      c.frame_records.push_back(static_cast<std::uint32_t>(records.size()));
+    }
+    // Compact the rx buffer once the parsed prefix dominates it.
+    if (c.in_off > (64u << 10) && c.in_off * 2 > c.in.size()) {
+      c.in.erase(c.in.begin(),
+                 c.in.begin() + static_cast<std::ptrdiff_t>(c.in_off));
+      c.in_off = 0;
+    }
+  };
+
+  auto flush_tee = [&] {
+    if (config_.tee != nullptr && !tee_buf.empty()) {
+      config_.tee->append(tee_buf);
+      tee_buf.clear();
+    }
+  };
+
+  auto merge_step = [&] {
+    // Gate: every live (negotiated, unfinished) probe must have a record
+    // buffered — otherwise a not-yet-received record could belong earlier
+    // in time than anything we would emit. With expected_probes set, no
+    // record moves before the full set of probes has joined.
+    if (config_.expected_probes > 0 &&
+        hello_count + failed_count < config_.expected_probes) {
+      return;
+    }
+    for (;;) {
+      Conn* best = nullptr;
+      double best_key = 0.0;
+      for (auto& cp : conns) {
+        Conn& c = *cp;
+        if (!c.hello_done || c.refused) continue;
+        if (c.pending.empty()) {
+          if (!c.finished) return;  // must wait for this probe
+          continue;
+        }
+        const double key = merge_key_of(c.pending.front(), config_.merge_key);
+        if (best == nullptr || key < best_key) {
+          best = &c;
+          best_key = key;
+        }
+      }
+      if (best == nullptr) return;
+
+      trace::WeblogRecord record = std::move(best->pending.front());
+      best->pending.pop_front();
+      if (!best->frame_records.empty() && --best->frame_records.front() == 0) {
+        best->frame_records.pop_front();
+        ++best->frames_consumed;
+      }
+      if (config_.tee != nullptr) {
+        tee_buf.push_back(record);
+        if (tee_buf.size() >= tee_batch) flush_tee();
+      }
+      sink(record);
+      ++stats.records_emitted;
+    }
+  };
+
+  auto queue_acks = [&](Conn& c) {
+    if (c.dead || c.frames_consumed == c.frames_ack_sent) return;
+    std::uint8_t ack[8];
+    put_u64(c.frames_consumed, ack);
+    c.out.insert(c.out.end(), ack, ack + sizeof ack);
+    c.frames_ack_sent = c.frames_consumed;
+  };
+
+  auto try_write = [&](Conn& c) {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n =
+          ::send(c.fd.get(), c.out.data() + c.out_off, c.out.size() - c.out_off,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (!c.finished) fail_conn(c);
+        c.dead = true;
+        return;
+      }
+      c.out_off += static_cast<std::size_t>(n);
+    }
+    if (c.out_off == c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+    }
+  };
+
+  std::vector<pollfd> pfds;
+  std::vector<Conn*> pfd_conns;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfd_conns.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    const bool accepting = config_.expected_probes == 0 ||
+                           stats.probes_connected < config_.expected_probes;
+    if (accepting) pfds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& cp : conns) {
+      Conn& c = *cp;
+      short events = 0;
+      if (!c.dead && !c.finished) events |= POLLIN;
+      if (!c.dead && c.out_off < c.out.size()) events |= POLLOUT;
+      if (events == 0) continue;
+      pfds.push_back({c.fd.get(), events, 0});
+      pfd_conns.push_back(&c);
+    }
+
+    int rc;
+    do {
+      rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) detail::throw_errno("collector poll failed");
+
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t drain[64];
+      while (::read(wake_fds_[0], drain, sizeof drain) > 0) {
+      }
+    }
+
+    if (accepting && (pfds[1].revents & POLLIN)) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        detail::set_nodelay(fd);
+        auto conn = std::make_unique<Conn>();
+        conn->fd.reset(fd);
+        conns.push_back(std::move(conn));
+        ++stats.probes_connected;
+        if (config_.expected_probes > 0 &&
+            stats.probes_connected >= config_.expected_probes) {
+          break;
+        }
+      }
+    }
+
+    const std::size_t conn_pfds_begin = accepting ? 2 : 1;
+    for (std::size_t i = conn_pfds_begin; i < pfds.size(); ++i) {
+      Conn& c = *pfd_conns[i - conn_pfds_begin];
+      if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        for (;;) {
+          std::uint8_t buf[64 << 10];
+          const ssize_t n = ::recv(c.fd.get(), buf, sizeof buf, MSG_DONTWAIT);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            fail_conn(c);
+            break;
+          }
+          if (n == 0) {
+            // EOF before FIN is a truncated stream.
+            if (!c.finished) fail_conn(c);
+            c.dead = true;
+            break;
+          }
+          stats.bytes_received += static_cast<std::uint64_t>(n);
+          c.in.insert(c.in.end(), buf, buf + n);
+          if (static_cast<std::size_t>(n) < sizeof buf) break;
+        }
+        if (!c.dead) parse(c);
+      }
+    }
+
+    merge_step();
+
+    for (auto& cp : conns) {
+      queue_acks(*cp);
+      if (!cp->dead && cp->out_off < cp->out.size()) try_write(*cp);
+    }
+
+    // Retire connections whose stream is fully merged and acknowledged.
+    std::erase_if(conns, [](const std::unique_ptr<Conn>& cp) {
+      const Conn& c = *cp;
+      if (c.dead) return c.pending.empty();
+      return c.finished && c.pending.empty() && c.out_off >= c.out.size() &&
+             c.frames_consumed == c.frames_ack_sent;
+    });
+
+    if (config_.expected_probes > 0 &&
+        stats.probes_completed + failed_count >= config_.expected_probes &&
+        conns.empty()) {
+      break;
+    }
+  }
+
+  flush_tee();
+  return stats;
+}
+
+}  // namespace vqoe::wire

@@ -1,0 +1,65 @@
+#include "vqoe/wire/crc32c.h"
+
+#include <array>
+
+namespace vqoe::wire {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+struct Tables {
+  // table[0] is the classic byte table; tables 1..7 let the hot loop fold
+  // eight input bytes per iteration (slicing-by-8).
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+
+  while (size >= 8) {
+    // Fold the current crc into the first four bytes, then index all eight
+    // slice tables; byte order of the loads does not matter because each
+    // byte meets its own table.
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size--) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace vqoe::wire

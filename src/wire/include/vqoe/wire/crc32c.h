@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) — the frame checksum of the wire format.
+//
+// Every spool frame and every TCP data frame carries a CRC32C over its
+// payload bytes (DESIGN.md section 5e): the spool uses it to tell a torn
+// tail (incomplete write at crash) from mid-file corruption, the collector
+// uses it to reject damaged frames instead of misparsing them. Software
+// slicing-by-8 implementation, no hardware dependency; tables are built
+// once at first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vqoe::wire {
+
+/// CRC32C of `size` bytes, continuing from `seed` (0 for a fresh
+/// checksum). crc32c(p, n) == crc32c(p + k, n - k, crc32c(p, k)).
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size,
+                                   std::uint32_t seed = 0);
+
+}  // namespace vqoe::wire

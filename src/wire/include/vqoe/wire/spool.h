@@ -1,0 +1,143 @@
+// Durable record spool — the append-only capture log between a probe and
+// everything downstream.
+//
+// A vantage point that loses its uplink (or whose collector restarts) must
+// not lose traffic, so the probe's first write is local: record batches are
+// appended to segment files as length-prefixed frames, each carrying a
+// CRC32C over its payload, with a batched fsync policy and size-based
+// segment rotation. The reader streams the spool back and distinguishes
+// the two corruption shapes a log can have:
+//
+//   * a *torn tail* — the final frame of the final segment is incomplete
+//     because the writer died mid-append. Everything before it is valid;
+//     the reader stops cleanly and reports `torn_tail()`.
+//   * *mid-file corruption* — a complete frame whose CRC does not match,
+//     or damage anywhere that is not the final segment's tail. That data
+//     was durable and is now wrong; the reader raises WireError with the
+//     segment and byte offset rather than silently skipping.
+//
+// Segment layout (all little-endian):
+//   header   "VQOS" magic, u8 version, u8 flags(0), u16 reserved
+//   frame*   u32 payload_len, u32 crc32c(payload), payload = record batch
+//
+// A zero-byte final segment (crash between create and header write) reads
+// as empty. A segment whose header advertises a version outside this
+// build's range fails with a version-skew error. DESIGN.md section 5e.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+#include "vqoe/wire/codec.h"
+
+namespace vqoe::wire {
+
+inline constexpr std::uint32_t kSpoolMagic = 0x534F5156u;  // "VQOS" LE
+inline constexpr std::size_t kSpoolHeaderBytes = 8;
+
+struct SpoolWriterOptions {
+  /// Rotate to a new segment once the current one reaches this size.
+  std::uint64_t segment_bytes = 64ull << 20;
+  /// fsync after this many appended frames (and always on rotation and
+  /// close). 0 defers durability entirely to rotation/close.
+  std::size_t sync_every_frames = 64;
+  std::uint8_t version = kWireVersionMax;
+};
+
+/// Append-only writer. One frame per append() call; not thread-safe (one
+/// spool belongs to one capture loop).
+class SpoolWriter {
+ public:
+  /// Creates `dir` if needed and opens the first segment. Throws
+  /// std::runtime_error / WireError on I/O failure or a bad version.
+  explicit SpoolWriter(std::filesystem::path dir,
+                       SpoolWriterOptions options = {});
+  ~SpoolWriter();
+
+  SpoolWriter(const SpoolWriter&) = delete;
+  SpoolWriter& operator=(const SpoolWriter&) = delete;
+
+  /// Appends one frame holding `count` records.
+  void append(const trace::WeblogRecord* records, std::size_t count);
+  void append(const std::vector<trace::WeblogRecord>& records) {
+    append(records.data(), records.size());
+  }
+
+  /// Forces the current segment to disk (write + fsync).
+  void sync();
+
+  /// Syncs and closes the current segment. Idempotent; the destructor
+  /// calls it (swallowing errors — call close() to observe them).
+  void close();
+
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::size_t segments() const { return segment_index_; }
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  void open_segment();
+  void rotate_if_needed();
+
+  std::filesystem::path dir_;
+  SpoolWriterOptions options_;
+  int fd_ = -1;
+  std::size_t segment_index_ = 0;  ///< segments opened so far
+  std::uint64_t segment_bytes_ = 0;
+  std::size_t frames_since_sync_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// Streaming reader over a spool directory (segments in rotation order) or
+/// a single segment file.
+class SpoolReader {
+ public:
+  /// Throws std::runtime_error when the path does not exist or holds no
+  /// segments (a directory with zero matching files).
+  explicit SpoolReader(const std::filesystem::path& path);
+
+  /// Produces the next record. Returns false at the clean end of the spool
+  /// (including after a torn tail). Throws WireError on mid-file
+  /// corruption, CRC mismatch, or version skew.
+  bool next(trace::WeblogRecord& out);
+
+  /// Reads every remaining record.
+  [[nodiscard]] std::vector<trace::WeblogRecord> read_all();
+
+  /// True once the reader stopped at an incomplete final frame.
+  [[nodiscard]] bool torn_tail() const { return torn_tail_; }
+  [[nodiscard]] std::uint64_t frames_read() const { return frames_; }
+  [[nodiscard]] std::uint64_t records_read() const { return records_; }
+  [[nodiscard]] std::size_t segments_read() const { return segment_; }
+
+ private:
+  bool open_next_segment();
+  bool fill_batch();
+  [[noreturn]] void corrupt(const std::string& what, std::uint64_t offset);
+
+  std::vector<std::filesystem::path> segments_;
+  std::size_t segment_ = 0;  ///< segments fully or partially consumed
+  std::ifstream in_;
+  std::uint64_t segment_offset_ = 0;
+  std::uint8_t segment_version_ = 0;
+  std::deque<trace::WeblogRecord> batch_;
+  bool torn_tail_ = false;
+  bool done_ = false;
+  std::uint64_t frames_ = 0;
+  std::uint64_t records_ = 0;
+  std::vector<std::uint8_t> payload_;
+};
+
+/// Convenience: all records of a spool in one call.
+[[nodiscard]] std::vector<trace::WeblogRecord> read_spool(
+    const std::filesystem::path& path);
+
+}  // namespace vqoe::wire

@@ -1,0 +1,207 @@
+// Probe → collector record transport.
+//
+// The deployment split of Section 3 (and of Schmitt et al.'s production
+// system, PAPERS.md): passive probes at network vantage points ship
+// per-transaction records to a central service that runs the trained
+// models. This header is that wire: a Probe streams framed record batches
+// over TCP; a Collector accepts N probes with one poll(2) loop, k-way
+// merges the per-probe streams back into one globally time-sorted feed and
+// hands each record to a caller-supplied sink (normally
+// engine::MonitorEngine::ingest), optionally tee-ing the merged feed to a
+// SpoolWriter for replay.
+//
+// Protocol (version negotiated per connection, all integers little-endian):
+//   hello      probe → collector   "VQOW", u8 min_ver, u8 max_ver, u16 rsvd
+//   hello-ack  collector → probe   "VQOA", u8 version (0 = refused),
+//                                  u8 rsvd, u16 rsvd, u32 ack_window
+//   data frame probe → collector   u32 payload_len, u32 crc32c(payload),
+//                                  payload = record batch (codec.h);
+//                                  payload_len == 0 is end-of-stream
+//   ack        collector → probe   u64 cumulative data frames consumed
+//
+// Backpressure is the ack window: the collector acknowledges a frame only
+// once every record in it has been handed to the sink, and a probe never
+// has more than `ack_window` unacknowledged frames in flight — a slow
+// merge (or a slow engine behind it) therefore propagates back to every
+// probe as bounded buffering, not unbounded queueing. DESIGN.md §5e.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+#include "vqoe/wire/codec.h"
+
+namespace vqoe::wire {
+
+class SpoolWriter;
+
+inline constexpr std::uint32_t kHelloMagic = 0x574F5156u;     // "VQOW" LE
+inline constexpr std::uint32_t kHelloAckMagic = 0x414F5156u;  // "VQOA" LE
+inline constexpr std::size_t kHelloBytes = 8;
+inline constexpr std::size_t kHelloAckBytes = 12;
+
+/// The field the collector merges per-probe streams by. The key must match
+/// the order each probe's stream is sorted in: replayed corpora (and the
+/// engine's watermark clock) ride the request timestamp; a live proxy that
+/// logs a transaction when it *completes* emits records in arrival-time
+/// order instead.
+enum class MergeKey : std::uint8_t { timestamp, arrival_time };
+
+[[nodiscard]] inline double merge_key_of(const trace::WeblogRecord& r,
+                                         MergeKey key) {
+  return key == MergeKey::timestamp ? r.timestamp_s : r.arrival_time_s();
+}
+
+/// Stable FNV-1a assignment of a subscriber to one of `probes` vantage
+/// points. Partitioning a feed this way keeps every subscriber's records
+/// on one probe, so per-subscriber arrival order survives the k-way merge
+/// regardless of how the probes' streams interleave.
+[[nodiscard]] inline std::size_t probe_of_subscriber(
+    std::string_view subscriber, std::size_t probes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char ch : subscriber) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % (probes ? probes : 1));
+}
+
+/// The subset of `records` probe `probe_index` of `probe_count` would see,
+/// in feed order.
+[[nodiscard]] std::vector<trace::WeblogRecord> partition_for_probe(
+    const std::vector<trace::WeblogRecord>& records, std::size_t probe_index,
+    std::size_t probe_count);
+
+// --- Probe ----------------------------------------------------------------
+
+struct ProbeOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Records per data frame.
+  std::size_t batch_records = 256;
+  /// Replay pacing: 0 = unthrottled, 1 = real time, N = N× faster than
+  /// real time (record timestamps mapped onto the wall clock).
+  double speed = 0.0;
+};
+
+struct ProbeStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t records_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t ack_stalls = 0;  ///< sends that waited on the ack window
+};
+
+/// One probe connection. Construction connects and negotiates the wire
+/// version; send() streams records (splitting into frames, pacing, and
+/// blocking on the ack window); finish() sends end-of-stream and waits for
+/// the final acknowledgement. Not thread-safe.
+class Probe {
+ public:
+  explicit Probe(ProbeOptions options);
+  ~Probe();
+
+  Probe(const Probe&) = delete;
+  Probe& operator=(const Probe&) = delete;
+
+  void send(const trace::WeblogRecord* records, std::size_t count);
+  void send(const std::vector<trace::WeblogRecord>& records) {
+    send(records.data(), records.size());
+  }
+
+  /// End of stream: FIN frame, then waits until the collector has
+  /// acknowledged every data frame. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::uint8_t version() const { return version_; }
+  [[nodiscard]] const ProbeStats& stats() const { return stats_; }
+
+ private:
+  void send_frame(const std::uint8_t* payload, std::size_t size);
+  void drain_acks(bool block);
+  void throttle(const trace::WeblogRecord& record);
+
+  ProbeOptions options_;
+  int fd_ = -1;
+  std::uint8_t version_ = 0;
+  std::uint32_t ack_window_ = 0;
+  std::uint64_t frames_acked_ = 0;
+  bool finished_ = false;
+  ProbeStats stats_;
+  std::vector<std::uint8_t> frame_;
+  std::uint8_t ack_partial_[8];
+  std::size_t ack_partial_len_ = 0;
+  // Pacing state: the first sent record pins stream time to wall time.
+  bool pacing_pinned_ = false;
+  double pace_t0_s_ = 0.0;
+  std::chrono::steady_clock::time_point pace_wall0_;
+};
+
+// --- Collector ------------------------------------------------------------
+
+struct CollectorConfig {
+  /// 0 binds an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  /// When > 0, run() returns after this many probes have connected and
+  /// finished their streams; 0 serves until stop().
+  std::size_t expected_probes = 0;
+  /// Max unacknowledged data frames per probe (sent in the hello-ack).
+  std::uint32_t ack_window = 8;
+  MergeKey merge_key = MergeKey::timestamp;
+  /// Optional tee: every record is appended (in merged order) before the
+  /// sink sees it, so the feed can be replayed after a crash. Borrowed.
+  SpoolWriter* tee = nullptr;
+  /// Records per tee frame.
+  std::size_t tee_batch_records = 512;
+};
+
+struct CollectorStats {
+  std::uint64_t probes_connected = 0;
+  std::uint64_t probes_completed = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t records_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t records_emitted = 0;
+  std::uint64_t protocol_errors = 0;  ///< rejected/failed connections
+};
+
+/// poll(2)-based collector server. run() owns the calling thread until the
+/// expected probes finish (or stop() is called from another thread) and
+/// invokes `sink` for every record in merged order — single-threaded, so
+/// the sink may drive engine ingest directly.
+class Collector {
+ public:
+  explicit Collector(CollectorConfig config);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  using Sink = std::function<void(const trace::WeblogRecord&)>;
+
+  /// The bound listen port (useful with config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  CollectorStats run(const Sink& sink);
+
+  /// Thread-safe, idempotent: makes run() drain what it can and return.
+  void stop();
+
+ private:
+  struct Conn;
+  struct Loop;
+
+  CollectorConfig config_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace vqoe::wire

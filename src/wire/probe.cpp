@@ -1,0 +1,176 @@
+#include <arpa/inet.h>
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "vqoe/wire/crc32c.h"
+#include "vqoe/wire/transport.h"
+#include "wire_io.h"
+
+namespace vqoe::wire {
+
+using detail::get_u32;
+using detail::get_u64;
+using detail::put_u32;
+using detail::send_all;
+
+Probe::Probe(ProbeOptions options) : options_(std::move(options)) {
+  detail::ScopedFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (fd.get() < 0) detail::throw_errno("cannot create probe socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error{"bad collector address: " + options_.host};
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    detail::throw_errno("cannot connect to collector " + options_.host + ":" +
+                        std::to_string(options_.port));
+  }
+  detail::set_nodelay(fd.get());
+
+  std::uint8_t hello[kHelloBytes] = {};
+  put_u32(kHelloMagic, hello);
+  hello[4] = kWireVersionMin;
+  hello[5] = kWireVersionMax;
+  send_all(fd.get(), hello, sizeof hello);
+
+  std::uint8_t ack[kHelloAckBytes];
+  detail::recv_all(fd.get(), ack, sizeof ack);
+  if (get_u32(ack) != kHelloAckMagic) {
+    throw WireError{"bad hello-ack magic from collector", 0};
+  }
+  version_ = ack[4];
+  if (version_ == 0 || !version_supported(version_)) {
+    throw WireError{"collector refused wire version (offered " +
+                        std::to_string(kWireVersionMin) + ".." +
+                        std::to_string(kWireVersionMax) + ")",
+                    4};
+  }
+  ack_window_ = get_u32(ack + 8);
+  if (ack_window_ == 0) {
+    throw WireError{"collector advertised a zero ack window", 8};
+  }
+  fd_ = fd.release();
+}
+
+Probe::~Probe() {
+  // No implicit finish(): destructing an unfinished probe must not block
+  // on the collector. The abrupt close reads as a truncated stream there.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Probe::drain_acks(bool block) {
+  for (;;) {
+    if (block) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, -1);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) detail::throw_errno("probe poll failed");
+    }
+    std::uint8_t buf[256];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, block ? 0 : MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (!block && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      detail::throw_errno("probe ack recv failed");
+    }
+    if (n == 0) {
+      throw std::runtime_error{"collector closed connection mid-stream"};
+    }
+    for (ssize_t i = 0; i < n; ++i) {
+      ack_partial_[ack_partial_len_++] = buf[i];
+      if (ack_partial_len_ == sizeof ack_partial_) {
+        ack_partial_len_ = 0;
+        // Acks are cumulative; keep the highest seen.
+        frames_acked_ = std::max(frames_acked_, get_u64(ack_partial_));
+      }
+    }
+    return;
+  }
+}
+
+void Probe::send_frame(const std::uint8_t* payload, std::size_t size) {
+  // Ack-window backpressure: block until the collector has consumed all
+  // but window-1 of our in-flight frames.
+  bool stalled = false;
+  drain_acks(/*block=*/false);
+  while (stats_.frames_sent - frames_acked_ >= ack_window_) {
+    stalled = true;
+    drain_acks(/*block=*/true);
+  }
+  if (stalled) ++stats_.ack_stalls;
+
+  std::uint8_t header[kFrameHeaderBytes];
+  put_u32(static_cast<std::uint32_t>(size), header);
+  put_u32(crc32c(payload, size), header + 4);
+  send_all(fd_, header, sizeof header);
+  if (size > 0) send_all(fd_, payload, size);
+  stats_.bytes_sent += sizeof header + size;
+}
+
+void Probe::throttle(const trace::WeblogRecord& record) {
+  if (options_.speed <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (!pacing_pinned_) {
+    pacing_pinned_ = true;
+    pace_t0_s_ = record.timestamp_s;
+    pace_wall0_ = now;
+    return;
+  }
+  const double stream_elapsed_s = record.timestamp_s - pace_t0_s_;
+  if (stream_elapsed_s <= 0.0) return;
+  const auto target =
+      pace_wall0_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(stream_elapsed_s /
+                                                      options_.speed));
+  if (target > now) std::this_thread::sleep_until(target);
+}
+
+void Probe::send(const trace::WeblogRecord* records, std::size_t count) {
+  if (fd_ < 0 || finished_) {
+    throw std::runtime_error{"probe stream already finished"};
+  }
+  const std::size_t batch =
+      options_.batch_records == 0 ? 256 : options_.batch_records;
+  for (std::size_t begin = 0; begin < count; begin += batch) {
+    const std::size_t n = std::min(batch, count - begin);
+    throttle(records[begin]);
+    frame_.clear();
+    encode_batch(records + begin, n, version_, frame_);
+    if (frame_.size() > kMaxFramePayloadBytes) {
+      throw WireError{"frame payload exceeds wire bound", 0};
+    }
+    send_frame(frame_.data(), frame_.size());
+    ++stats_.frames_sent;
+    stats_.records_sent += n;
+  }
+}
+
+void Probe::finish() {
+  if (fd_ < 0 || finished_) return;
+  finished_ = true;
+  send_frame(nullptr, 0);  // FIN
+  while (frames_acked_ < stats_.frames_sent) drain_acks(/*block=*/true);
+}
+
+std::vector<trace::WeblogRecord> partition_for_probe(
+    const std::vector<trace::WeblogRecord>& records, std::size_t probe_index,
+    std::size_t probe_count) {
+  std::vector<trace::WeblogRecord> subset;
+  for (const auto& r : records) {
+    if (probe_of_subscriber(r.subscriber_id, probe_count) == probe_index) {
+      subset.push_back(r);
+    }
+  }
+  return subset;
+}
+
+}  // namespace vqoe::wire

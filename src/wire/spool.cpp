@@ -1,0 +1,302 @@
+#include "vqoe/wire/spool.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "vqoe/wire/crc32c.h"
+
+namespace vqoe::wire {
+namespace {
+
+std::string segment_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "spool-%06zu.vqs", index);
+  return buf;
+}
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw std::runtime_error{what + " " + path.string() + ": " +
+                           std::strerror(errno)};
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::filesystem::path& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot write spool segment", path);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void put_u32(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+}  // namespace
+
+// --- SpoolWriter ----------------------------------------------------------
+
+SpoolWriter::SpoolWriter(std::filesystem::path dir, SpoolWriterOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (!version_supported(options_.version)) {
+    throw WireError{"unsupported spool version " +
+                        std::to_string(options_.version),
+                    0};
+  }
+  std::filesystem::create_directories(dir_);
+  open_segment();
+}
+
+SpoolWriter::~SpoolWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: the segment may be torn; the reader recovers.
+  }
+}
+
+void SpoolWriter::open_segment() {
+  const auto path = dir_ / segment_name(segment_index_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open spool segment", path);
+  ++segment_index_;
+
+  std::uint8_t header[kSpoolHeaderBytes] = {};
+  put_u32(kSpoolMagic, header);
+  header[4] = options_.version;
+  write_all(fd_, header, sizeof header, path);
+  segment_bytes_ = sizeof header;
+  bytes_ += sizeof header;
+  frames_since_sync_ = 0;
+}
+
+void SpoolWriter::rotate_if_needed() {
+  if (segment_bytes_ < options_.segment_bytes) return;
+  sync();
+  if (::close(fd_) != 0) throw_errno("cannot close spool segment", dir_);
+  fd_ = -1;
+  open_segment();
+}
+
+void SpoolWriter::append(const trace::WeblogRecord* records,
+                         std::size_t count) {
+  if (count == 0) return;
+  if (fd_ < 0) throw std::runtime_error{"spool writer is closed"};
+  rotate_if_needed();
+
+  // One frame, one write(2): a crash mid-append leaves at most a torn
+  // tail, never an interleaved or reordered frame.
+  scratch_.clear();
+  scratch_.resize(kFrameHeaderBytes);
+  encode_batch(records, count, options_.version, scratch_);
+  const std::size_t payload = scratch_.size() - kFrameHeaderBytes;
+  if (payload > kMaxFramePayloadBytes) {
+    throw WireError{"frame payload exceeds wire bound", 0};
+  }
+  put_u32(static_cast<std::uint32_t>(payload), scratch_.data());
+  put_u32(crc32c(scratch_.data() + kFrameHeaderBytes, payload),
+          scratch_.data() + 4);
+  write_all(fd_, scratch_.data(), scratch_.size(), dir_);
+
+  segment_bytes_ += scratch_.size();
+  bytes_ += scratch_.size();
+  ++frames_;
+  records_ += count;
+  if (options_.sync_every_frames != 0 &&
+      ++frames_since_sync_ >= options_.sync_every_frames) {
+    sync();
+  }
+}
+
+void SpoolWriter::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) throw_errno("cannot fsync spool segment", dir_);
+  frames_since_sync_ = 0;
+}
+
+void SpoolWriter::close() {
+  if (fd_ < 0) return;
+  sync();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) throw_errno("cannot close spool segment", dir_);
+}
+
+// --- SpoolReader ----------------------------------------------------------
+
+SpoolReader::SpoolReader(const std::filesystem::path& path) {
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::directory_iterator{path}) {
+      if (!entry.is_regular_file()) continue;
+      const auto name = entry.path().filename().string();
+      if (name.starts_with("spool-") && name.ends_with(".vqs")) {
+        segments_.push_back(entry.path());
+      }
+    }
+    std::sort(segments_.begin(), segments_.end());
+    if (segments_.empty()) {
+      throw std::runtime_error{"no spool segments in " + path.string()};
+    }
+  } else if (std::filesystem::is_regular_file(path)) {
+    segments_.push_back(path);
+  } else {
+    throw std::runtime_error{"no such spool: " + path.string()};
+  }
+}
+
+void SpoolReader::corrupt(const std::string& what, std::uint64_t offset) {
+  const auto& path = segments_[segment_ == 0 ? 0 : segment_ - 1];
+  throw WireError{what + " in " + path.string(),
+                  static_cast<std::size_t>(offset)};
+}
+
+bool SpoolReader::open_next_segment() {
+  while (segment_ < segments_.size()) {
+    const auto& path = segments_[segment_];
+    const bool final_segment = segment_ + 1 == segments_.size();
+    ++segment_;
+
+    in_.close();
+    in_.clear();
+    in_.open(path, std::ios::binary);
+    if (!in_) {
+      throw std::runtime_error{"cannot open spool segment " + path.string()};
+    }
+    segment_offset_ = 0;
+
+    std::uint8_t header[kSpoolHeaderBytes];
+    in_.read(reinterpret_cast<char*>(header), sizeof header);
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got == 0) continue;  // zero-byte segment: created, never written
+    if (got < sizeof header) {
+      // A partial header can only be the writer dying between segment
+      // creation and the header landing — recoverable at the tail only.
+      if (final_segment) {
+        torn_tail_ = true;
+        continue;
+      }
+      corrupt("torn segment header before final segment", got);
+    }
+    if (get_u32(header) != kSpoolMagic) corrupt("bad spool magic", 0);
+    if (!version_supported(header[4])) {
+      corrupt("spool version skew: segment has version " +
+                  std::to_string(header[4]) + ", this build speaks " +
+                  std::to_string(kWireVersionMin) + ".." +
+                  std::to_string(kWireVersionMax),
+              4);
+    }
+    segment_version_ = header[4];
+    segment_offset_ = sizeof header;
+    return true;
+  }
+  return false;
+}
+
+bool SpoolReader::fill_batch() {
+  while (batch_.empty()) {
+    if (done_) return false;
+    if (!in_.is_open()) {
+      if (!open_next_segment()) {
+        done_ = true;
+        return false;
+      }
+    }
+
+    const bool final_segment = segment_ == segments_.size();
+    std::uint8_t header[kFrameHeaderBytes];
+    in_.read(reinterpret_cast<char*>(header), sizeof header);
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got == 0) {
+      in_.close();  // clean end of this segment
+      continue;
+    }
+    if (got < sizeof header) {
+      if (!final_segment) {
+        corrupt("torn frame header before final segment",
+                segment_offset_ + got);
+      }
+      torn_tail_ = true;
+      done_ = true;
+      return false;
+    }
+
+    const std::uint32_t payload_len = get_u32(header);
+    const std::uint32_t expected_crc = get_u32(header + 4);
+    if (payload_len == 0 || payload_len > kMaxFramePayloadBytes) {
+      corrupt("frame length out of bounds", segment_offset_);
+    }
+
+    payload_.resize(payload_len);
+    in_.read(reinterpret_cast<char*>(payload_.data()), payload_len);
+    const auto payload_got = static_cast<std::size_t>(in_.gcount());
+    if (payload_got < payload_len) {
+      if (!final_segment) {
+        corrupt("torn frame payload before final segment",
+                segment_offset_ + kFrameHeaderBytes + payload_got);
+      }
+      torn_tail_ = true;
+      done_ = true;
+      return false;
+    }
+
+    if (crc32c(payload_.data(), payload_len) != expected_crc) {
+      corrupt("frame CRC mismatch", segment_offset_);
+    }
+
+    std::vector<trace::WeblogRecord> records;
+    try {
+      records = decode_batch(payload_.data(), payload_len, segment_version_);
+    } catch (const WireError& e) {
+      corrupt(std::string{"undecodable frame payload: "} + e.what(),
+              segment_offset_ + kFrameHeaderBytes + e.offset());
+    }
+    segment_offset_ += kFrameHeaderBytes + payload_len;
+    ++frames_;
+    records_ += records.size();
+    for (auto& r : records) batch_.push_back(std::move(r));
+  }
+  return true;
+}
+
+bool SpoolReader::next(trace::WeblogRecord& out) {
+  if (!fill_batch()) return false;
+  out = std::move(batch_.front());
+  batch_.pop_front();
+  return true;
+}
+
+std::vector<trace::WeblogRecord> SpoolReader::read_all() {
+  std::vector<trace::WeblogRecord> all;
+  trace::WeblogRecord r;
+  while (next(r)) all.push_back(std::move(r));
+  return all;
+}
+
+std::vector<trace::WeblogRecord> read_spool(
+    const std::filesystem::path& path) {
+  SpoolReader reader{path};
+  return reader.read_all();
+}
+
+}  // namespace vqoe::wire

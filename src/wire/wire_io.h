@@ -1,0 +1,105 @@
+// Internal POSIX socket helpers shared by probe.cpp and collector.cpp.
+// Not installed; everything here is an implementation detail of the
+// transport layer.
+#pragma once
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace vqoe::wire::detail {
+
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+inline void put_u32(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+inline void put_u64(std::uint64_t v, std::uint8_t* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Blocking full send; MSG_NOSIGNAL so a dead peer surfaces as an error
+/// instead of SIGPIPE.
+inline void send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket send failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Blocking full receive. Throws on error or premature EOF.
+inline void recv_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket recv failed");
+    }
+    if (n == 0) throw std::runtime_error{"peer closed connection"};
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+inline void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace vqoe::wire::detail

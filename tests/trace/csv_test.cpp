@@ -101,5 +101,89 @@ TEST_F(CsvTest, EmptyRecordListProducesHeaderOnly) {
   EXPECT_TRUE(loaded.empty());
 }
 
+// RFC-4180 regression: string fields come from the outside world, and a
+// subscriber id or host carrying a comma, quote or newline must not shear
+// the row — the writer quotes such fields (doubling embedded quotes) and
+// the reader restores the original bytes, including line breaks inside a
+// quoted field.
+TEST_F(CsvTest, HostileStringsRoundTrip) {
+  WeblogRecord hostile;
+  hostile.subscriber_id = "sub,with,commas";
+  hostile.host = "evil\"quoted\".example.com";
+  hostile.session_id = "line\nbreak,and \"both\"";
+  hostile.timestamp_s = 12.5;
+  hostile.object_size_bytes = 4096;
+  hostile.kind = RecordKind::media;
+  hostile.itag_height = 720;
+
+  WeblogRecord crlf;
+  crlf.subscriber_id = "crlf\r\nsub";
+  crlf.host = "plain.example.com";
+  crlf.session_id = "\"leading quote";
+  crlf.timestamp_s = 13.0;
+
+  WeblogRecord plain;
+  plain.subscriber_id = "sub-ordinary";
+  plain.host = "r3---sn-h5q7dne7.googlevideo.com";
+  plain.session_id = "abcDEF0123456789";
+  plain.timestamp_s = 14.0;
+
+  const auto path = dir_ / "hostile.csv";
+  const std::vector<WeblogRecord> written = {hostile, crlf, plain};
+  write_weblogs_csv(path, written);
+  const auto loaded = read_weblogs_csv(path);
+
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const WeblogRecord& a = written[i];
+    const WeblogRecord& b = loaded[i];
+    EXPECT_EQ(a.subscriber_id, b.subscriber_id);
+    EXPECT_EQ(a.host, b.host);
+    EXPECT_EQ(a.session_id, b.session_id);
+    EXPECT_EQ(a.itag_height, b.itag_height);
+  }
+}
+
+TEST_F(CsvTest, HostileGroundTruthRoundTrip) {
+  SessionGroundTruth truth;
+  truth.session_id = "id,with\n\"everything\"";
+  truth.subscriber_id = "sub \"quoted\"";
+  truth.media_chunk_count = 42;
+  truth.stall_count = 2;
+
+  const auto path = dir_ / "hostile_truth.csv";
+  write_ground_truth_csv(path, {truth});
+  const auto loaded = read_ground_truth_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].session_id, truth.session_id);
+  EXPECT_EQ(loaded[0].subscriber_id, truth.subscriber_id);
+  EXPECT_EQ(loaded[0].media_chunk_count, truth.media_chunk_count);
+}
+
+TEST_F(CsvTest, QuotingOnlyTouchesFieldsThatNeedIt) {
+  // Generator-produced data never needs quoting: the file must not grow
+  // quotes (older readers of these files split on commas).
+  WeblogRecord plain;
+  plain.subscriber_id = "sub-7";
+  plain.host = "m.youtube.com";
+  plain.session_id = "abcDEF0123456789";
+  const auto path = dir_ / "plain.csv";
+  write_weblogs_csv(path, {plain});
+  std::ifstream is{path};
+  std::string content{std::istreambuf_iterator<char>{is},
+                      std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(content.find('"'), std::string::npos);
+}
+
+TEST_F(CsvTest, UnterminatedQuoteThrows) {
+  const auto path = dir_ / "torn.csv";
+  {
+    std::ofstream os{path};
+    os << "header\n";
+    os << "\"never closed,1,2\n";
+  }
+  EXPECT_THROW(read_weblogs_csv(path), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace vqoe::trace

@@ -1,0 +1,272 @@
+// Wire codec invariants.
+//
+// The contract the spool and the transport both lean on: decode(encode(r))
+// is bit-identical for every record the workload generator can produce
+// (doubles travel as raw IEEE-754 bits, unlike CSV), the encrypted view
+// pays zero bytes for the metadata TLS hides, and *every* malformed input
+// — truncations at any byte, unknown flag bits, out-of-range enums,
+// oversized lengths, trailing garbage — raises WireError instead of
+// misparsing.
+#include "vqoe/wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::wire {
+namespace {
+
+/// Field-by-field equality with exact double comparison: the codec
+/// promises bit-identical round trips, so == is the right bar.
+void expect_identical(const trace::WeblogRecord& a,
+                      const trace::WeblogRecord& b) {
+  EXPECT_EQ(a.subscriber_id, b.subscriber_id);
+  EXPECT_EQ(a.timestamp_s, b.timestamp_s);
+  EXPECT_EQ(a.transaction_time_s, b.transaction_time_s);
+  EXPECT_EQ(a.object_size_bytes, b.object_size_bytes);
+  EXPECT_EQ(a.host, b.host);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.encrypted, b.encrypted);
+  EXPECT_EQ(a.served_from_cache, b.served_from_cache);
+  EXPECT_EQ(a.transport.rtt_min_ms, b.transport.rtt_min_ms);
+  EXPECT_EQ(a.transport.rtt_avg_ms, b.transport.rtt_avg_ms);
+  EXPECT_EQ(a.transport.rtt_max_ms, b.transport.rtt_max_ms);
+  EXPECT_EQ(a.transport.bdp_bytes, b.transport.bdp_bytes);
+  EXPECT_EQ(a.transport.bif_avg_bytes, b.transport.bif_avg_bytes);
+  EXPECT_EQ(a.transport.bif_max_bytes, b.transport.bif_max_bytes);
+  EXPECT_EQ(a.transport.loss_pct, b.transport.loss_pct);
+  EXPECT_EQ(a.transport.retrans_pct, b.transport.retrans_pct);
+  EXPECT_EQ(a.session_id, b.session_id);
+  EXPECT_EQ(a.itag_height, b.itag_height);
+  EXPECT_EQ(a.is_audio, b.is_audio);
+  EXPECT_EQ(a.report_stall_count, b.report_stall_count);
+  EXPECT_EQ(a.report_stall_duration_s, b.report_stall_duration_s);
+}
+
+std::vector<trace::WeblogRecord> cleartext_records() {
+  auto options = workload::cleartext_corpus_options(12, 424);
+  options.subscribers = 6;
+  options.keep_session_results = false;
+  return workload::generate_corpus(options).weblogs;
+}
+
+TEST(WireCodecTest, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t value : values) {
+    std::vector<std::uint8_t> buf;
+    put_varint(value, buf);
+    std::size_t offset = 0;
+    EXPECT_EQ(get_varint(buf.data(), buf.size(), offset), value);
+    EXPECT_EQ(offset, buf.size());  // consumed exactly, no trailing read
+  }
+}
+
+TEST(WireCodecTest, VarintTruncationThrows) {
+  std::vector<std::uint8_t> buf;
+  put_varint(std::numeric_limits<std::uint64_t>::max(), buf);
+  // Every strict prefix ends on a continuation bit.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::size_t offset = 0;
+    EXPECT_THROW((void)get_varint(buf.data(), cut, offset), WireError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(WireCodecTest, VarintOverflowThrows) {
+  // Ten continuation bytes then more: wider than 64 bits.
+  std::vector<std::uint8_t> buf(10, 0x80u);
+  buf.push_back(0x02u);
+  std::size_t offset = 0;
+  EXPECT_THROW((void)get_varint(buf.data(), buf.size(), offset), WireError);
+  // 2^64 exactly (tenth byte contributes bit 64).
+  std::vector<std::uint8_t> overflow(9, 0x80u);
+  overflow.push_back(0x02u);
+  offset = 0;
+  EXPECT_THROW((void)get_varint(overflow.data(), overflow.size(), offset),
+               WireError);
+}
+
+TEST(WireCodecTest, CleartextRecordsRoundTripBitIdentical) {
+  const auto records = cleartext_records();
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    std::vector<std::uint8_t> buf;
+    encode_record(record, kWireVersionMax, buf);
+    std::size_t offset = 0;
+    const auto decoded =
+        decode_record(buf.data(), buf.size(), offset, kWireVersionMax);
+    EXPECT_EQ(offset, buf.size());
+    expect_identical(record, decoded);
+  }
+}
+
+TEST(WireCodecTest, EncryptedViewOmitsMetadataBytes) {
+  auto records = cleartext_records();
+  // Find a record that actually carries URI metadata.
+  const trace::WeblogRecord* cleartext = nullptr;
+  for (const auto& r : records) {
+    if (!r.session_id.empty()) {
+      cleartext = &r;
+      break;
+    }
+  }
+  ASSERT_NE(cleartext, nullptr);
+
+  std::vector<std::uint8_t> clear_buf;
+  encode_record(*cleartext, kWireVersionMax, clear_buf);
+
+  const auto encrypted = trace::encrypt_view({*cleartext});
+  std::vector<std::uint8_t> enc_buf;
+  encode_record(encrypted[0], kWireVersionMax, enc_buf);
+
+  // The TLS view drops the whole metadata trailer, not just its values.
+  EXPECT_LT(enc_buf.size(), clear_buf.size());
+
+  std::size_t offset = 0;
+  const auto decoded =
+      decode_record(enc_buf.data(), enc_buf.size(), offset, kWireVersionMax);
+  expect_identical(encrypted[0], decoded);
+  EXPECT_TRUE(decoded.encrypted);
+  EXPECT_TRUE(decoded.session_id.empty());
+  EXPECT_EQ(decoded.itag_height, 0);
+}
+
+TEST(WireCodecTest, BatchRoundTrip) {
+  const auto records = cleartext_records();
+  std::vector<std::uint8_t> buf;
+  encode_batch(records, kWireVersionMax, buf);
+  const auto decoded = decode_batch(buf.data(), buf.size(), kWireVersionMax);
+  ASSERT_EQ(decoded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    expect_identical(records[i], decoded[i]);
+  }
+}
+
+TEST(WireCodecTest, EmptyBatchRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_batch(nullptr, 0, kWireVersionMax, buf);
+  EXPECT_TRUE(decode_batch(buf.data(), buf.size(), kWireVersionMax).empty());
+}
+
+TEST(WireCodecTest, TrailingBytesAfterBatchThrow) {
+  const auto records = cleartext_records();
+  std::vector<std::uint8_t> buf;
+  encode_batch(records.data(), 2, kWireVersionMax, buf);
+  buf.push_back(0x00u);
+  EXPECT_THROW((void)decode_batch(buf.data(), buf.size(), kWireVersionMax),
+               WireError);
+}
+
+TEST(WireCodecTest, EveryTruncationOfARecordThrows) {
+  const auto records = cleartext_records();
+  // Cover both shapes: a metadata-carrying record and an encrypted one.
+  const auto encrypted = trace::encrypt_view({records[0]});
+  for (const auto& record : {records[0], encrypted[0]}) {
+    std::vector<std::uint8_t> buf;
+    encode_record(record, kWireVersionMax, buf);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      std::size_t offset = 0;
+      EXPECT_THROW(
+          (void)decode_record(buf.data(), cut, offset, kWireVersionMax),
+          WireError)
+          << "prefix of " << cut << " of " << buf.size() << " bytes";
+    }
+    // And the full buffer still parses.
+    std::size_t offset = 0;
+    EXPECT_NO_THROW(
+        (void)decode_record(buf.data(), buf.size(), offset, kWireVersionMax));
+  }
+}
+
+TEST(WireCodecTest, UnknownFlagBitsThrow) {
+  const auto records = cleartext_records();
+  std::vector<std::uint8_t> buf;
+  encode_record(records[0], kWireVersionMax, buf);
+  buf[0] |= 0x80u;  // a flag bit version 1 does not define
+  std::size_t offset = 0;
+  try {
+    (void)decode_record(buf.data(), buf.size(), offset, kWireVersionMax);
+    FAIL() << "unknown flag bit accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.offset(), 0u);
+  }
+}
+
+TEST(WireCodecTest, OutOfRangeKindThrows) {
+  const auto records = cleartext_records();
+  std::vector<std::uint8_t> buf;
+  encode_record(records[0], kWireVersionMax, buf);
+  buf[1] = 0x07u;  // beyond RecordKind::playback_report
+  std::size_t offset = 0;
+  try {
+    (void)decode_record(buf.data(), buf.size(), offset, kWireVersionMax);
+    FAIL() << "out-of-range kind accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.offset(), 1u);
+  }
+}
+
+TEST(WireCodecTest, OversizedStringLengthThrows) {
+  // flags, kind, then a subscriber length far beyond kMaxStringBytes.
+  std::vector<std::uint8_t> buf = {0x00u, 0x00u};
+  put_varint(static_cast<std::uint64_t>(kMaxStringBytes) + 1, buf);
+  std::size_t offset = 0;
+  EXPECT_THROW(
+      (void)decode_record(buf.data(), buf.size(), offset, kWireVersionMax),
+      WireError);
+}
+
+TEST(WireCodecTest, OversizedBatchCountThrows) {
+  std::vector<std::uint8_t> buf;
+  put_varint(static_cast<std::uint64_t>(kMaxBatchRecords) + 1, buf);
+  EXPECT_THROW((void)decode_batch(buf.data(), buf.size(), kWireVersionMax),
+               WireError);
+}
+
+TEST(WireCodecTest, UnsupportedVersionIsRejectedBothWays) {
+  static_assert(!version_supported(0));
+  static_assert(version_supported(kWireVersionMin));
+  static_assert(version_supported(kWireVersionMax));
+  static_assert(!version_supported(kWireVersionMax + 1));
+
+  const auto records = cleartext_records();
+  std::vector<std::uint8_t> buf;
+  EXPECT_THROW(encode_record(records[0], kWireVersionMax + 1, buf), WireError);
+  EXPECT_THROW(encode_batch(records, 0, buf), WireError);
+
+  encode_record(records[0], kWireVersionMax, buf);
+  std::size_t offset = 0;
+  EXPECT_THROW((void)decode_record(buf.data(), buf.size(), offset,
+                                   kWireVersionMax + 1),
+               WireError);
+}
+
+TEST(WireCodecTest, NegativeMetadataFieldsAreNotEncodable) {
+  auto record = cleartext_records()[0];
+  record.itag_height = -1;
+  std::vector<std::uint8_t> buf;
+  EXPECT_THROW(encode_record(record, kWireVersionMax, buf), WireError);
+}
+
+TEST(WireCodecTest, WireErrorCarriesOffset) {
+  const WireError e{"boom", 42};
+  EXPECT_EQ(e.offset(), 42u);
+  EXPECT_NE(std::string{e.what()}.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vqoe::wire

@@ -1,0 +1,310 @@
+// Spool durability contract.
+//
+// The failure modes a capture log must get right (ISSUE 4): a torn final
+// frame (writer died mid-append) is recovered silently — everything before
+// it reads back and torn_tail() reports the loss; a flipped byte in the
+// durable middle of the log is a hard WireError with the offending offset;
+// a segment header from a future format version is a version-skew error,
+// not a misparse; and a zero-byte segment (crash between create and header
+// write) reads as cleanly empty.
+#include "vqoe/wire/spool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+#include <vector>
+
+#include "vqoe/trace/weblog.h"
+#include "vqoe/wire/codec.h"
+#include "vqoe/workload/corpus.h"
+
+namespace vqoe::wire {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<trace::WeblogRecord> make_records() {
+  auto options = workload::cleartext_corpus_options(10, 77);
+  options.subscribers = 5;
+  options.keep_session_results = false;
+  return trace::encrypt_view(workload::generate_corpus(options).weblogs);
+}
+
+void expect_identical(const trace::WeblogRecord& a,
+                      const trace::WeblogRecord& b) {
+  EXPECT_EQ(a.subscriber_id, b.subscriber_id);
+  EXPECT_EQ(a.timestamp_s, b.timestamp_s);
+  EXPECT_EQ(a.transaction_time_s, b.transaction_time_s);
+  EXPECT_EQ(a.object_size_bytes, b.object_size_bytes);
+  EXPECT_EQ(a.host, b.host);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.encrypted, b.encrypted);
+  EXPECT_EQ(a.transport.rtt_avg_ms, b.transport.rtt_avg_ms);
+  EXPECT_EQ(a.transport.bif_max_bytes, b.transport.bif_max_bytes);
+}
+
+class SpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vqoe_spool_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Writes `records` as `frames` equal-ish frames into a fresh spool.
+  void write_spool(const std::vector<trace::WeblogRecord>& records,
+                   std::size_t frames, SpoolWriterOptions options = {}) {
+    SpoolWriter writer{dir_, options};
+    const std::size_t per = (records.size() + frames - 1) / frames;
+    for (std::size_t i = 0; i < records.size(); i += per) {
+      writer.append(records.data() + i, std::min(per, records.size() - i));
+    }
+    writer.close();
+  }
+
+  [[nodiscard]] fs::path segment(std::size_t index) const {
+    char name[32];
+    std::snprintf(name, sizeof name, "spool-%06zu.vqs", index);
+    return dir_ / name;
+  }
+
+  static void flip_byte(const fs::path& path, std::uint64_t offset) {
+    std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  static void set_byte(const fs::path& path, std::uint64_t offset,
+                       std::uint8_t value) {
+    std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    const char byte = static_cast<char>(value);
+    f.write(&byte, 1);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SpoolTest, RoundTripSingleSegment) {
+  const auto records = make_records();
+  write_spool(records, 4);
+
+  SpoolReader reader{dir_};
+  const auto got = reader.read_all();
+  ASSERT_EQ(got.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    expect_identical(records[i], got[i]);
+  }
+  EXPECT_FALSE(reader.torn_tail());
+  EXPECT_EQ(reader.frames_read(), 4u);
+  EXPECT_EQ(reader.segments_read(), 1u);
+}
+
+TEST_F(SpoolTest, WriterCountsFramesRecordsBytes) {
+  const auto records = make_records();
+  SpoolWriter writer{dir_};
+  writer.append(records);
+  writer.append(records.data(), 3);
+  EXPECT_EQ(writer.frames_written(), 2u);
+  EXPECT_EQ(writer.records_written(), records.size() + 3);
+  EXPECT_EQ(writer.segments(), 1u);
+  writer.close();
+  EXPECT_EQ(writer.bytes_written(),
+            static_cast<std::uint64_t>(fs::file_size(segment(0))));
+  // Appending zero records is a no-op, not an empty frame.
+  SpoolWriter writer2{dir_ / "empty_appends"};
+  writer2.append(records.data(), 0);
+  EXPECT_EQ(writer2.frames_written(), 0u);
+}
+
+TEST_F(SpoolTest, RotationSplitsSegmentsAndPreservesOrder) {
+  const auto records = make_records();
+  SpoolWriterOptions options;
+  options.segment_bytes = 1;  // every frame lands in its own segment
+  write_spool(records, 5, options);
+
+  // The header alone exceeds the bound, so segment 0 is header-only and
+  // each of the 5 frames rotated into its own segment: 6 files total.
+  SpoolReader reader{dir_};
+  const auto got = reader.read_all();
+  ASSERT_EQ(got.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    expect_identical(records[i], got[i]);
+  }
+  EXPECT_EQ(reader.segments_read(), 6u);
+  EXPECT_FALSE(reader.torn_tail());
+  EXPECT_TRUE(fs::exists(segment(5)));
+}
+
+TEST_F(SpoolTest, TruncatedFinalFrameRecoversAsTornTail) {
+  const auto records = make_records();
+  write_spool(records, 4);  // frame size ~= records.size()/4 records
+
+  // Chop a few bytes off the final frame's payload: the writer died
+  // mid-append. The first three frames must read back, nothing must throw.
+  fs::resize_file(segment(0), fs::file_size(segment(0)) - 5);
+
+  SpoolReader reader{dir_};
+  const auto got = reader.read_all();
+  EXPECT_TRUE(reader.torn_tail());
+  EXPECT_EQ(reader.frames_read(), 3u);
+  EXPECT_LT(got.size(), records.size());
+  EXPECT_EQ(got.size(), reader.records_read());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_identical(records[i], got[i]);
+  }
+}
+
+TEST_F(SpoolTest, TruncatedFinalFrameHeaderRecoversAsTornTail) {
+  const auto records = make_records();
+  write_spool(records, 2);
+  // Leave only 3 of the 8 header bytes of the final frame.
+  std::uint64_t second_frame_at = kSpoolHeaderBytes;
+  {
+    std::ifstream in{segment(0), std::ios::binary};
+    in.seekg(static_cast<std::streamoff>(kSpoolHeaderBytes));
+    std::uint8_t len[4];
+    in.read(reinterpret_cast<char*>(len), 4);
+    second_frame_at += kFrameHeaderBytes +
+                       (static_cast<std::uint32_t>(len[0]) |
+                        static_cast<std::uint32_t>(len[1]) << 8 |
+                        static_cast<std::uint32_t>(len[2]) << 16 |
+                        static_cast<std::uint32_t>(len[3]) << 24);
+  }
+  fs::resize_file(segment(0), second_frame_at + 3);
+
+  SpoolReader reader{dir_};
+  const auto got = reader.read_all();
+  EXPECT_TRUE(reader.torn_tail());
+  EXPECT_EQ(reader.frames_read(), 1u);
+  EXPECT_FALSE(got.empty());
+}
+
+TEST_F(SpoolTest, FlippedByteMidFileIsHardError) {
+  const auto records = make_records();
+  write_spool(records, 4);
+
+  // Damage the first frame's payload: that data was durable, losing it
+  // silently is not acceptable — must be a CRC error with an offset.
+  flip_byte(segment(0), kSpoolHeaderBytes + kFrameHeaderBytes + 2);
+
+  SpoolReader reader{dir_};
+  trace::WeblogRecord r;
+  try {
+    while (reader.next(r)) {
+    }
+    FAIL() << "corrupt frame read back silently";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.offset(), kSpoolHeaderBytes);  // frame start
+    EXPECT_NE(std::string{e.what()}.find("CRC"), std::string::npos);
+  }
+  EXPECT_FALSE(reader.torn_tail());
+}
+
+TEST_F(SpoolTest, FlippedCrcFieldIsHardError) {
+  const auto records = make_records();
+  write_spool(records, 2);
+  // Flip a bit in the stored CRC itself rather than the payload.
+  flip_byte(segment(0), kSpoolHeaderBytes + 4);
+  EXPECT_THROW((void)read_spool(dir_), WireError);
+}
+
+TEST_F(SpoolTest, TornFrameInNonFinalSegmentIsHardError) {
+  const auto records = make_records();
+  SpoolWriterOptions options;
+  options.segment_bytes = 1;  // one frame per segment
+  write_spool(records, 3, options);
+  // A truncation that is NOT the tail of the log: only the final segment
+  // may be torn; anywhere else the data was durable. (Frames sit in
+  // segments 1..3; segment 0 is the header-only pre-rotation stub.)
+  fs::resize_file(segment(1), fs::file_size(segment(1)) - 3);
+  EXPECT_THROW((void)read_spool(dir_), WireError);
+}
+
+TEST_F(SpoolTest, VersionSkewHeaderIsExplicitError) {
+  const auto records = make_records();
+  write_spool(records, 2);
+  set_byte(segment(0), 4, 99);  // header version byte
+
+  try {
+    (void)read_spool(dir_);
+    FAIL() << "version-skew segment read back";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string{e.what()}.find("version skew"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("99"), std::string::npos);
+  }
+}
+
+TEST_F(SpoolTest, BadMagicIsHardError) {
+  const auto records = make_records();
+  write_spool(records, 1);
+  flip_byte(segment(0), 0);
+  EXPECT_THROW((void)read_spool(dir_), WireError);
+}
+
+TEST_F(SpoolTest, ZeroByteSegmentReadsAsEmpty) {
+  fs::create_directories(dir_);
+  { std::ofstream created{segment(0), std::ios::binary}; }
+  ASSERT_EQ(fs::file_size(segment(0)), 0u);
+
+  SpoolReader reader{dir_};
+  EXPECT_TRUE(reader.read_all().empty());
+  EXPECT_FALSE(reader.torn_tail());
+  EXPECT_EQ(reader.records_read(), 0u);
+}
+
+TEST_F(SpoolTest, HeaderOnlySegmentReadsAsEmpty) {
+  {
+    SpoolWriter writer{dir_};
+    writer.close();  // header written, no frames
+  }
+  SpoolReader reader{dir_};
+  EXPECT_TRUE(reader.read_all().empty());
+  EXPECT_FALSE(reader.torn_tail());
+}
+
+TEST_F(SpoolTest, PartialHeaderInFinalSegmentIsTornTail) {
+  const auto records = make_records();
+  SpoolWriterOptions options;
+  options.segment_bytes = 1;
+  write_spool(records, 2, options);  // frames in segments 1 and 2
+  fs::resize_file(segment(2), 4);    // crash mid-header-write
+
+  SpoolReader reader{dir_};
+  const auto got = reader.read_all();
+  EXPECT_TRUE(reader.torn_tail());
+  EXPECT_FALSE(got.empty());  // segment 0 still reads back
+}
+
+TEST_F(SpoolTest, MissingSpoolThrows) {
+  EXPECT_THROW(SpoolReader{dir_ / "nope"}, std::runtime_error);
+  fs::create_directories(dir_);
+  EXPECT_THROW(SpoolReader{dir_}, std::runtime_error);  // no segments
+}
+
+TEST_F(SpoolTest, SingleSegmentFileIsReadable) {
+  const auto records = make_records();
+  write_spool(records, 2);
+  SpoolReader reader{segment(0)};  // a file path, not a directory
+  EXPECT_EQ(reader.read_all().size(), records.size());
+}
+
+TEST_F(SpoolTest, UnsupportedWriterVersionThrows) {
+  SpoolWriterOptions options;
+  options.version = kWireVersionMax + 1;
+  EXPECT_THROW(SpoolWriter(dir_, options), WireError);
+}
+
+}  // namespace
+}  // namespace vqoe::wire

@@ -1,0 +1,176 @@
+// vqoe_collector — networked ingest into the sharded monitoring engine.
+//
+// Accepts framed record batches from N vqoe_probe clients, k-way merges
+// the per-probe streams back into one time-sorted feed, and drives
+// engine::MonitorEngine with it — the central half of the probe/collector
+// deployment split. Optionally tees the merged feed to a spool directory
+// so the capture can be replayed (crash recovery, backtesting).
+//
+//   vqoe_collector --probes=4 --port=9977 --model-dir=models/
+//   vqoe_collector --probes=1 --train=2000 --spool=/var/tmp/capture
+//
+// Exits after --probes streams finish, printing per-subscriber QoE, the
+// engine's shard statistics and the transport counters.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "vqoe/core/model_io.h"
+#include "vqoe/core/pipeline.h"
+#include "vqoe/engine/engine.h"
+#include "vqoe/trace/weblog.h"
+#include "vqoe/wire/spool.h"
+#include "vqoe/wire/transport.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vqoe_collector --probes=N [--port=9977] [--shards=4]\n"
+      "                      [--model-dir=DIR | --train=N [--seed=N]]\n"
+      "                      [--spool=DIR] [--merge-key=timestamp|arrival]\n"
+      "                      [--min-chunks=N] [--ack-window=N]\n"
+      "  --probes=N     exit after N probe streams complete\n"
+      "  --model-dir    load trained models (vqoe_train output)\n"
+      "  --train=N      train in-process on N synthesized sessions instead\n"
+      "  --spool=DIR    tee the merged feed to a spool for replay\n"
+      "  --merge-key    field the per-probe streams are sorted by\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+
+  const char* probes_arg = arg_value(argc, argv, "--probes");
+  if (!probes_arg) usage();
+  const auto probes = std::strtoull(probes_arg, nullptr, 10);
+  if (probes == 0) usage();
+
+  // --- models: load from disk or train on a synthesized corpus ------------
+  const char* model_dir = arg_value(argc, argv, "--model-dir");
+  core::QoePipeline pipeline = [&] {
+    if (model_dir) {
+      std::printf("loading models from %s...\n", model_dir);
+      return core::load_pipeline(model_dir);
+    }
+    const char* train = arg_value(argc, argv, "--train");
+    const std::size_t sessions =
+        train ? std::strtoull(train, nullptr, 10) : 2000;
+    const char* seed_arg = arg_value(argc, argv, "--seed");
+    const std::uint64_t seed =
+        seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 42;
+    std::printf("training on %zu synthesized sessions (seed %llu)...\n",
+                sessions, static_cast<unsigned long long>(seed));
+    auto options = workload::cleartext_corpus_options(sessions, seed);
+    options.keep_session_results = false;
+    return core::QoePipeline::train(
+        core::sessions_from_corpus(workload::generate_corpus(options)));
+  }();
+
+  // --- engine -------------------------------------------------------------
+  engine::EngineConfig engine_config;
+  if (const char* shards = arg_value(argc, argv, "--shards")) {
+    engine_config.shards = std::strtoull(shards, nullptr, 10);
+  }
+  if (const char* min_chunks = arg_value(argc, argv, "--min-chunks")) {
+    engine_config.monitor.min_chunks = std::strtoull(min_chunks, nullptr, 10);
+  }
+  engine::MonitorEngine engine{pipeline, engine_config};
+
+  // --- collector ----------------------------------------------------------
+  wire::CollectorConfig config;
+  config.port = 9977;
+  if (const char* port = arg_value(argc, argv, "--port")) {
+    config.port = static_cast<std::uint16_t>(std::strtoul(port, nullptr, 10));
+  }
+  config.expected_probes = probes;
+  if (const char* window = arg_value(argc, argv, "--ack-window")) {
+    config.ack_window =
+        static_cast<std::uint32_t>(std::strtoul(window, nullptr, 10));
+  }
+  if (const char* key = arg_value(argc, argv, "--merge-key")) {
+    if (std::strcmp(key, "timestamp") == 0) {
+      config.merge_key = wire::MergeKey::timestamp;
+    } else if (std::strcmp(key, "arrival") == 0) {
+      config.merge_key = wire::MergeKey::arrival_time;
+    } else {
+      usage();
+    }
+  }
+  std::unique_ptr<wire::SpoolWriter> tee;
+  if (const char* spool = arg_value(argc, argv, "--spool")) {
+    tee = std::make_unique<wire::SpoolWriter>(spool);
+    config.tee = tee.get();
+  }
+
+  wire::Collector collector{config};
+  std::printf("listening on port %u for %llu probe(s)...\n", collector.port(),
+              static_cast<unsigned long long>(probes));
+
+  const wire::CollectorStats wire_stats =
+      collector.run([&](const trace::WeblogRecord& record) {
+        engine.ingest(record);
+      });
+
+  // --- report -------------------------------------------------------------
+  struct SubscriberStats {
+    std::size_t sessions = 0;
+    std::size_t stalled = 0;
+  };
+  std::map<std::string, SubscriberStats> per_subscriber;
+  for (const auto& s : engine.drain()) {
+    SubscriberStats& stats = per_subscriber[s.subscriber_id];
+    stats.sessions++;
+    if (s.report.stall != core::StallLabel::no_stalls) stats.stalled++;
+  }
+  if (tee) tee->close();
+
+  std::printf("\ntransport: %llu probes, %llu frames, %llu records "
+              "(%llu bytes), %llu protocol errors\n",
+              static_cast<unsigned long long>(wire_stats.probes_completed),
+              static_cast<unsigned long long>(wire_stats.frames_received),
+              static_cast<unsigned long long>(wire_stats.records_received),
+              static_cast<unsigned long long>(wire_stats.bytes_received),
+              static_cast<unsigned long long>(wire_stats.protocol_errors));
+  if (tee) {
+    std::printf("spool: %llu records in %zu segment(s) under %s\n",
+                static_cast<unsigned long long>(tee->records_written()),
+                tee->segments(), tee->directory().c_str());
+  }
+
+  const engine::EngineStats engine_stats = engine.stats();
+  std::printf("engine: %llu records over %zu shards, %llu sessions\n",
+              static_cast<unsigned long long>(engine_stats.records_out),
+              engine.shard_count(),
+              static_cast<unsigned long long>(engine_stats.sessions_reported));
+  for (std::size_t i = 0; i < engine_stats.shards.size(); ++i) {
+    const auto& s = engine_stats.shards[i];
+    std::printf("  shard %zu: %llu records, %llu sessions, queue peak %zu\n",
+                i, static_cast<unsigned long long>(s.records_out),
+                static_cast<unsigned long long>(s.sessions_reported),
+                s.queue_peak);
+  }
+
+  std::printf("\n%-12s %-9s %s\n", "subscriber", "sessions", "stalled");
+  for (const auto& [subscriber, stats] : per_subscriber) {
+    std::printf("%-12s %-9zu %zu\n", subscriber.c_str(), stats.sessions,
+                stats.stalled);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// vqoe_probe — replays a capture into a vqoe_collector.
+//
+// The edge half of the probe/collector split: reads records from a spool
+// directory (vqoe_collector --spool output, or any SpoolWriter log), a
+// weblog CSV, or a synthesized corpus, and streams them to a collector as
+// framed batches at a chosen replay speed.
+//
+//   vqoe_probe --port=9977 --spool=/var/tmp/capture
+//   vqoe_probe --port=9977 --weblogs=day.csv --speed=1        # real time
+//   vqoe_probe --port=9977 --generate=300 --subset=0/4        # load test
+//
+// --speed=0 (default) replays unthrottled, --speed=1 at capture pace,
+// --speed=N at N× capture pace. --subset=i/n keeps only the i-th of n
+// subscriber partitions, so one capture can feed n concurrent probes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "vqoe/trace/csv.h"
+#include "vqoe/trace/weblog.h"
+#include "vqoe/wire/spool.h"
+#include "vqoe/wire/transport.h"
+#include "vqoe/workload/corpus.h"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vqoe_probe --port=N [--host=127.0.0.1]\n"
+      "                  (--spool=DIR | --weblogs=CSV | --generate=N "
+      "[--seed=N])\n"
+      "                  [--speed=X] [--batch=N] [--subset=I/N]\n"
+      "  --spool=DIR    replay a spool capture log\n"
+      "  --weblogs=CSV  replay a weblog CSV (vqoe_train format)\n"
+      "  --generate=N   synthesize N encrypted sessions and stream those\n"
+      "  --speed=X      0 = unthrottled (default), 1 = real time, N = Nx\n"
+      "  --subset=I/N   stream only subscriber partition I of N\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vqoe;
+
+  const char* port = arg_value(argc, argv, "--port");
+  if (!port) usage();
+
+  // --- load the feed ------------------------------------------------------
+  std::vector<trace::WeblogRecord> records;
+  if (const char* spool = arg_value(argc, argv, "--spool")) {
+    wire::SpoolReader reader{spool};
+    records = reader.read_all();
+    std::printf("spool %s: %llu records in %zu segment(s)%s\n", spool,
+                static_cast<unsigned long long>(reader.records_read()),
+                reader.segments_read(),
+                reader.torn_tail() ? " (torn tail recovered)" : "");
+  } else if (const char* weblogs = arg_value(argc, argv, "--weblogs")) {
+    records = trace::read_weblogs_csv(weblogs);
+    std::printf("%s: %zu records\n", weblogs, records.size());
+  } else if (const char* generate = arg_value(argc, argv, "--generate")) {
+    const char* seed_arg = arg_value(argc, argv, "--seed");
+    auto options = workload::cleartext_corpus_options(
+        std::strtoull(generate, nullptr, 10),
+        seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 99);
+    options.adaptive_fraction = 1.0;
+    options.subscribers = 40;
+    options.keep_session_results = false;
+    records = trace::encrypt_view(workload::generate_corpus(options).weblogs);
+    std::printf("synthesized %zu encrypted records\n", records.size());
+  } else {
+    usage();
+  }
+
+  if (const char* subset = arg_value(argc, argv, "--subset")) {
+    std::size_t index = 0, count = 0;
+    if (std::sscanf(subset, "%zu/%zu", &index, &count) != 2 || count == 0 ||
+        index >= count) {
+      usage();
+    }
+    records = wire::partition_for_probe(records, index, count);
+    std::printf("subset %zu/%zu: %zu records\n", index, count, records.size());
+  }
+
+  // --- stream it ----------------------------------------------------------
+  wire::ProbeOptions options;
+  if (const char* host = arg_value(argc, argv, "--host")) options.host = host;
+  options.port = static_cast<std::uint16_t>(std::strtoul(port, nullptr, 10));
+  if (const char* speed = arg_value(argc, argv, "--speed")) {
+    options.speed = std::strtod(speed, nullptr);
+  }
+  if (const char* batch = arg_value(argc, argv, "--batch")) {
+    options.batch_records = std::strtoull(batch, nullptr, 10);
+  }
+
+  wire::Probe probe{options};
+  std::printf("connected to %s:%u (wire version %u)\n", options.host.c_str(),
+              options.port, probe.version());
+  probe.send(records);
+  probe.finish();
+
+  const wire::ProbeStats& stats = probe.stats();
+  std::printf("sent %llu records in %llu frames (%llu bytes), "
+              "%llu ack-window stalls\n",
+              static_cast<unsigned long long>(stats.records_sent),
+              static_cast<unsigned long long>(stats.frames_sent),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.ack_stalls));
+  return 0;
+}
