@@ -6,6 +6,7 @@
 // remaining statistically stable; override with --sessions=N / --seed=N.
 #pragma once
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,14 +22,28 @@ struct Args {
   std::uint64_t seed = 0;    ///< 0 = bench-specific default
 };
 
+/// Whole-string unsigned parse; exits loudly on garbage or overflow so a
+/// typo'd --sessions never silently benchmarks the default corpus size.
+inline std::uint64_t parse_u64(const std::string& arg, std::size_t prefix) {
+  std::uint64_t out = 0;
+  const char* begin = arg.c_str() + prefix;
+  const char* end = arg.c_str() + arg.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    std::fprintf(stderr, "invalid number in '%s'\n", arg.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
 inline Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--sessions=", 0) == 0) {
-      args.sessions = std::strtoull(arg.c_str() + 11, nullptr, 10);
+      args.sessions = parse_u64(arg, 11);
     } else if (arg.rfind("--seed=", 0) == 0) {
-      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      args.seed = parse_u64(arg, 7);
     } else if (arg == "--help") {
       std::printf("usage: %s [--sessions=N] [--seed=N]\n", argv[0]);
       std::exit(0);

@@ -1,0 +1,143 @@
+// Tree walker and baseline plumbing for vqoe::lint.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "vqoe/lint/lint.h"
+
+namespace vqoe::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string slash_path(const fs::path& p) {
+  return p.generic_string();  // forward slashes on every platform
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  if (!in) throw std::runtime_error{"vqoe_lint: cannot read " + p.string()};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// For src/<mod>/<name>.cpp whose own header src/<mod>/include/vqoe/<mod>/
+/// <name>.h exists, the IWYU-lite rule pins the first include to it.
+std::string self_include_for(const fs::path& root, const std::string& rel) {
+  const fs::path p{rel};
+  if (p.extension() != ".cpp") return {};
+  auto it = p.begin();
+  if (it == p.end() || *it != "src") return {};
+  ++it;
+  if (it == p.end()) return {};
+  const std::string mod = it->string();
+  const std::string header = p.stem().string() + ".h";
+  const std::string candidate = "vqoe/" + mod + "/" + header;
+  if (fs::exists(root / "src" / mod / "include" / candidate)) return candidate;
+  return {};
+}
+
+}  // namespace
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+         f.message;
+}
+
+std::string baseline_key(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ":" + f.rule;
+}
+
+TreeReport analyze_tree(const TreeOptions& options) {
+  std::vector<std::string> files;
+  for (const std::string& rel : options.paths) {
+    const fs::path full = options.root / rel;
+    if (fs::is_regular_file(full)) {
+      files.push_back(slash_path(rel));
+      continue;
+    }
+    if (!fs::is_directory(full)) {
+      throw std::runtime_error{"vqoe_lint: no such path: " + full.string()};
+    }
+    for (const auto& entry : fs::recursive_directory_iterator{full}) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      files.push_back(
+          slash_path(fs::relative(entry.path(), options.root)));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  TreeReport report;
+  for (const std::string& rel : files) {
+    const bool excluded =
+        std::any_of(options.excludes.begin(), options.excludes.end(),
+                    [&rel](const std::string& prefix) {
+                      return rel.starts_with(prefix);
+                    });
+    if (excluded) continue;
+    ++report.files_scanned;
+    FileInput input;
+    input.path = rel;
+    input.source = read_file(options.root / rel);
+    input.expected_first_include = self_include_for(options.root, rel);
+    std::vector<Finding> file_findings = analyze(input);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(file_findings.begin()),
+                           std::make_move_iterator(file_findings.end()));
+  }
+  return report;
+}
+
+std::vector<std::string> load_baseline(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  std::vector<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') continue;
+    keys.push_back(line);
+  }
+  return keys;
+}
+
+std::size_t apply_baseline(std::vector<Finding>& findings,
+                           const std::vector<std::string>& keys) {
+  const std::set<std::string> baseline{keys.begin(), keys.end()};
+  std::set<std::string> matched;
+  std::erase_if(findings, [&](const Finding& f) {
+    const std::string key = baseline_key(f);
+    if (!baseline.count(key)) return false;
+    matched.insert(key);
+    return true;
+  });
+  return baseline.size() - matched.size();
+}
+
+std::string write_baseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(baseline_key(f));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::string out =
+      "# vqoe_lint baseline: grandfathered findings (file:line:rule).\n"
+      "# Regenerate with: vqoe_lint --write-baseline=.vqoe-lint-baseline\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vqoe::lint

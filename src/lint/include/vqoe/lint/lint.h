@@ -1,0 +1,141 @@
+// vqoe::lint — project-invariant static analysis (DESIGN.md section 5f).
+//
+// A dependency-free, token-level C++ analyzer that machine-checks the
+// contracts the compiler cannot: bit-identical determinism at any thread
+// count (no wall clocks or ambient RNG in the batch modules — randomness
+// must flow from par::derive_seed), checked-syscall durability in the
+// wire spool/transport, no silently swallowed exceptions, header hygiene,
+// and a short list of banned C APIs. It is deliberately *not* a compiler
+// front-end: a lexer that understands comments, literals and preprocessor
+// lines is enough to enforce these rules with zero false positives on
+// this codebase, and it keeps the tool fast enough to run on every ctest
+// invocation (label `lint`).
+//
+// Findings print as `file:line: rule: message`. Two escape hatches:
+//
+//  * inline suppression — `// vqoe-lint: allow(rule): reason` on the
+//    finding's line, the line above it, or (for swallowed-exception)
+//    inside the catch block. The reason is mandatory by convention: a
+//    suppression is a reviewed claim that the invariant holds anyway.
+//  * a checked-in baseline file of `file:line:rule` keys for grandfathered
+//    findings; `vqoe_lint --write-baseline` regenerates it and CI fails
+//    on any finding outside it (zero-new-findings gate).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vqoe::lint {
+
+// --- lexer -----------------------------------------------------------------
+
+enum class TokenKind {
+  identifier,  // also keywords: `new`, `delete`, `catch`, ...
+  number,
+  string_lit,  // includes raw strings; text is the undecoded spelling
+  char_lit,
+  punct,       // multi-char operators kept whole: :: -> ... == != <= >= && ||
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct CommentTok {
+  int line = 0;      // first line of the comment
+  int end_line = 0;  // last line (block comments may span several)
+  std::string text;  // without the // or /* */ markers, trimmed
+};
+
+struct PpDirective {
+  int line = 0;
+  std::string name;  // "include", "pragma", "ifndef", "define", ...
+  std::string rest;  // remainder of the (continuation-joined) line, trimmed
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;          // comments and preprocessor excluded
+  std::vector<CommentTok> comments;
+  std::vector<PpDirective> directives;
+};
+
+/// Tokenizes C++ source. Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF — rule checks degrade gracefully.
+LexedFile lex(std::string_view source);
+
+// --- findings & suppressions ----------------------------------------------
+
+struct Finding {
+  std::string file;  // repo-relative path, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// `path:line: rule: message` — the printed form.
+std::string format(const Finding& f);
+
+/// `path:line:rule` — the baseline key (stable across message rewording).
+std::string baseline_key(const Finding& f);
+
+struct Suppression {
+  int line = 0;
+  std::string rule;  // "*" suppresses every rule on that line
+};
+
+/// Extracts `vqoe-lint: allow(rule)` markers from comments.
+std::vector<Suppression> find_suppressions(const std::vector<CommentTok>& cs);
+
+// --- analysis --------------------------------------------------------------
+
+/// One file to analyze. `path` controls rule scoping (determinism rules
+/// fire only under src/{par,ml,workload,sim,ts,core}, syscall rules only
+/// under src/wire) so fixtures can opt into any scope by choosing a path.
+struct FileInput {
+  std::string path;
+  std::string source;
+  /// Non-empty for an implementation file whose own header exists:
+  /// the first #include must be exactly this (IWYU-lite self-containment).
+  std::string expected_first_include;
+};
+
+/// Runs every applicable rule; inline suppressions already applied.
+/// Findings come back in (line, rule) order.
+std::vector<Finding> analyze(const FileInput& input);
+
+// --- tree driver -----------------------------------------------------------
+
+struct TreeOptions {
+  std::filesystem::path root;
+  std::vector<std::string> paths;     // relative to root; dirs or files
+  std::vector<std::string> excludes;  // relative path prefixes to skip
+};
+
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;  // lets a clean run prove it covered the tree
+};
+
+/// Walks .h/.hpp/.cpp/.cc files under root/paths (sorted, deterministic),
+/// wiring up the self-include expectation for src/<mod>/<name>.cpp files.
+TreeReport analyze_tree(const TreeOptions& options);
+
+// --- baseline --------------------------------------------------------------
+
+/// Loads baseline keys (one per line, `#` comments and blanks ignored).
+/// A missing file is an empty baseline, not an error.
+std::vector<std::string> load_baseline(const std::filesystem::path& path);
+
+/// Removes findings whose key appears in the baseline. Returns the number
+/// of baseline keys that matched nothing (stale entries).
+std::size_t apply_baseline(std::vector<Finding>& findings,
+                           const std::vector<std::string>& keys);
+
+/// Serializes findings as sorted baseline keys, one per line.
+std::string write_baseline(const std::vector<Finding>& findings);
+
+}  // namespace vqoe::lint

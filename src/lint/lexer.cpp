@@ -1,0 +1,255 @@
+#include "vqoe/lint/lint.h"
+
+#include <cctype>
+
+namespace vqoe::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+// Literal prefixes that may glue onto a quote: u8"x", L'\0', LR"(x)".
+bool is_literal_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L" || id == "R" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+// Two- and three-char operators worth keeping whole for token walk-backs.
+constexpr const char* kMultiOps[] = {
+    "...", "->*", "<<=", ">>=", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (is_ident_start(c)) {
+        identifier_or_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(pos_, false);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal(pos_);
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void line_comment() {
+    const int start = line_;
+    const std::size_t body = pos_ + 2;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        {start, start, trim(src_.substr(body, pos_ - body))});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    const std::size_t body = pos_ + 2;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    const std::size_t end = pos_;
+    if (pos_ < src_.size()) pos_ += 2;
+    out_.comments.push_back({start, line_, trim(src_.substr(body, end - body))});
+  }
+
+  // A preprocessor logical line, joining backslash continuations. Embedded
+  // // and /* comments are cut off (a /* spanning past the line end is
+  // consumed so the main loop does not re-lex its tail as code).
+  void directive() {
+    const int start = line_;
+    std::string text;
+    ++pos_;  // '#'
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      text += c;
+      ++pos_;
+    }
+    const std::string joined = trim(text);
+    std::size_t i = 0;
+    while (i < joined.size() && is_ident_char(joined[i])) ++i;
+    out_.directives.push_back(
+        {start, joined.substr(0, i), trim(joined.substr(i))});
+  }
+
+  void identifier_or_literal() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    const std::string_view id = src_.substr(start, pos_ - start);
+    if (pos_ < src_.size() && is_literal_prefix(id)) {
+      if (src_[pos_] == '"') {
+        string_literal(start, id.back() == 'R');
+        return;
+      }
+      if (src_[pos_] == '\'') {
+        char_literal(start);
+        return;
+      }
+    }
+    out_.tokens.push_back({TokenKind::identifier, std::string{id}, line_});
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back(
+        {TokenKind::number, std::string{src_.substr(start, pos_ - start)},
+         line_});
+  }
+
+  void string_literal(std::size_t start, bool raw) {
+    const int at = line_;
+    ++pos_;  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src_.find(closer, pos_);
+      if (end == std::string_view::npos) {
+        pos_ = src_.size();
+      } else {
+        for (std::size_t i = pos_; i < end; ++i) {
+          if (src_[i] == '\n') ++line_;
+        }
+        pos_ = end + closer.size();
+      }
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+        if (src_[pos_] == '\\') ++pos_;
+        if (pos_ < src_.size()) ++pos_;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    }
+    out_.tokens.push_back(
+        {TokenKind::string_lit, std::string{src_.substr(start, pos_ - start)},
+         at});
+  }
+
+  void char_literal(std::size_t start) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\') ++pos_;
+      if (pos_ < src_.size()) ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    out_.tokens.push_back(
+        {TokenKind::char_lit, std::string{src_.substr(start, pos_ - start)},
+         line_});
+  }
+
+  void punct() {
+    for (const char* op : kMultiOps) {
+      const std::string_view sv{op};
+      if (src_.substr(pos_).starts_with(sv)) {
+        out_.tokens.push_back({TokenKind::punct, std::string{sv}, line_});
+        pos_ += sv.size();
+        return;
+      }
+    }
+    out_.tokens.push_back(
+        {TokenKind::punct, std::string(1, src_[pos_]), line_});
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer{source}.run(); }
+
+}  // namespace vqoe::lint

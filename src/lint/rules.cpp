@@ -1,0 +1,361 @@
+// Rule implementations for vqoe::lint. Each rule walks the token stream
+// produced by lexer.cpp; scoping by path prefix mirrors the contracts in
+// DESIGN.md section 5f:
+//
+//   determinism        src/{par,ml,workload,sim,ts,core}
+//   unchecked-syscall  src/wire
+//   swallowed-exception, header-hygiene, banned-api   everywhere
+#include <algorithm>
+#include <initializer_list>
+#include <set>
+#include <string_view>
+#include <tuple>
+
+#include "vqoe/lint/lint.h"
+
+namespace vqoe::lint {
+namespace {
+
+using sv = std::string_view;
+
+bool starts_with_any(sv path, std::initializer_list<sv> prefixes) {
+  for (sv p : prefixes) {
+    if (path.starts_with(p)) return true;
+  }
+  return false;
+}
+
+bool is_header(sv path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+bool in_determinism_scope(sv path) {
+  return starts_with_any(path, {"src/par/", "src/ml/", "src/workload/",
+                                "src/sim/", "src/ts/", "src/core/"});
+}
+
+bool in_syscall_scope(sv path) { return path.starts_with("src/wire/"); }
+
+const Token* tok_at(const std::vector<Token>& ts, std::ptrdiff_t i) {
+  return i >= 0 && i < static_cast<std::ptrdiff_t>(ts.size()) ? &ts[i]
+                                                              : nullptr;
+}
+
+bool is(const Token* t, sv text) { return t && t->text == text; }
+
+bool is_member_access(const Token* prev) {
+  return is(prev, ".") || is(prev, "->");
+}
+
+struct RuleSink {
+  const FileInput* input;
+  std::vector<Finding>* out;
+  void add(int line, sv rule, std::string message) {
+    out->push_back({input->path, line, std::string{rule}, std::move(message)});
+  }
+};
+
+// --- rule: determinism ------------------------------------------------------
+// The batch modules promise bit-identical output for any thread count and
+// any host; ambient entropy and wall clocks break that silently. RNG must
+// be an explicitly seeded generator whose seed flows from par::derive_seed.
+
+void check_determinism(const LexedFile& lf, RuleSink& sink) {
+  static const std::set<sv> kCalls = {"rand",    "srand",    "rand_r",
+                                      "drand48", "lrand48",  "mrand48",
+                                      "random",  "setlocale"};
+  static const std::set<sv> kTypes = {"random_device", "system_clock"};
+  const auto& ts = lf.tokens;
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ts.size()); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != TokenKind::identifier) continue;
+    const Token* prev = tok_at(ts, i - 1);
+    const Token* next = tok_at(ts, i + 1);
+    if (is_member_access(prev)) continue;  // x.random(), r->time(...)
+    if (kTypes.count(t.text)) {
+      sink.add(t.line, "determinism",
+               "'" + t.text +
+                   "' is non-deterministic; seed an explicit generator via "
+                   "par::derive_seed instead");
+      continue;
+    }
+    if (kCalls.count(t.text) && is(next, "(")) {
+      sink.add(t.line, "determinism",
+               "call to '" + t.text +
+                   "' is non-deterministic or locale-dependent; randomness "
+                   "must flow from par::derive_seed");
+      continue;
+    }
+    if (t.text == "time" && is(next, "(")) {
+      sink.add(t.line, "determinism",
+               "wall-clock 'time(...)' in a deterministic module; thread "
+               "timestamps through the record stream instead");
+      continue;
+    }
+    if (t.text == "locale" && is(prev, "::") && is(tok_at(ts, i - 2), "std")) {
+      sink.add(t.line, "determinism",
+               "'std::locale' makes parsing host-dependent; the batch "
+               "modules must parse byte-identically everywhere");
+    }
+  }
+}
+
+// --- rule: unchecked-syscall ------------------------------------------------
+// Spool durability is an end-to-end claim: every write/fsync/close on the
+// durable path must surface its error. A discarded return value — either
+// at statement position or behind a (void) cast — needs an explicit
+// suppression documenting why best-effort is correct there.
+
+void check_unchecked_syscall(const LexedFile& lf, RuleSink& sink) {
+  static const std::set<sv> kSyscalls = {
+      "read",  "write", "pread", "pwrite",    "close", "fsync",
+      "fdatasync", "poll",  "send",  "recv", "ftruncate"};
+  // Tokens before a call start that mean the result is consumed.
+  static const std::set<sv> kConsumed = {
+      "=",  "(",  ",", "return", "!",  "==", "!=", "<",  ">",  "<=",
+      ">=", "&&", "||", "?",     "+",  "-",  "*",  "/",  "%",  "&",
+      "|",  "^",  "<<", ">>",    "+=", "-=", "*=", "/=", "while"};
+  const auto& ts = lf.tokens;
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ts.size()); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != TokenKind::identifier || !kSyscalls.count(t.text)) continue;
+    if (!is(tok_at(ts, i + 1), "(")) continue;
+
+    // Only `::close(...)`-style global-qualified calls are considered:
+    // src/wire calls POSIX with explicit `::` everywhere (the idiom this
+    // rule relies on), and a bare `close(...)` is indistinguishable at
+    // token level from a member call or overload (e.g. Probe::send).
+    const Token* before = tok_at(ts, i - 1);
+    if (!is(before, "::")) continue;
+    const Token* scope = tok_at(ts, i - 2);
+    if (scope && scope->kind == TokenKind::identifier) {
+      continue;  // Foo::close — member definition or qualified member call
+    }
+    const std::ptrdiff_t start = i - 1;  // the `::`
+    before = tok_at(ts, start - 1);
+
+    // (void)-cast discard, with or without the `!` idiom.
+    std::ptrdiff_t j = start - 1;
+    if (is(tok_at(ts, j), "!")) --j;
+    if (is(tok_at(ts, j), ")") && is(tok_at(ts, j - 1), "void") &&
+        is(tok_at(ts, j - 2), "(")) {
+      sink.add(t.line, "unchecked-syscall",
+               "result of '" + t.text +
+                   "' discarded via (void) cast; check it or carry a "
+                   "vqoe-lint suppression explaining why best-effort is "
+                   "correct here");
+      continue;
+    }
+    if (before && kConsumed.count(sv{before->text})) continue;
+    if (is(before, ";") || is(before, "{") || is(before, "}") ||
+        is(before, ")") || is(before, "else") || is(before, ":")) {
+      sink.add(t.line, "unchecked-syscall",
+               "return value of '" + t.text +
+                   "' is not checked; the wire durability contract requires "
+                   "every syscall result to be consumed");
+    }
+  }
+}
+
+// --- rule: swallowed-exception ----------------------------------------------
+// `catch (...)` must rethrow, record (any non-empty body), or carry an
+// explicit suppression — an empty handler erases the only evidence a
+// durability or determinism violation ever happened.
+
+void check_swallowed_exception(const LexedFile& lf, RuleSink& sink) {
+  const auto& ts = lf.tokens;
+  for (std::ptrdiff_t i = 0;
+       i + 4 < static_cast<std::ptrdiff_t>(ts.size()); ++i) {
+    if (!(is(&ts[i], "catch") && is(&ts[i + 1], "(") && is(&ts[i + 2], "...") &&
+          is(&ts[i + 3], ")") && is(&ts[i + 4], "{"))) {
+      continue;
+    }
+    const int catch_line = ts[i].line;
+    std::ptrdiff_t j = i + 5;
+    int depth = 1;
+    bool empty = true;
+    for (; j < static_cast<std::ptrdiff_t>(ts.size()) && depth > 0; ++j) {
+      if (is(&ts[j], "{")) ++depth;
+      else if (is(&ts[j], "}")) --depth;
+      if (depth > 0) empty = false;
+    }
+    if (!empty) continue;  // rethrows or records something
+    sink.add(catch_line, "swallowed-exception",
+             "'catch (...)' swallows the exception; rethrow, record the "
+             "failure, or add 'vqoe-lint: allow(swallowed-exception): why'");
+  }
+}
+
+// --- rule: header-hygiene ---------------------------------------------------
+
+void check_header_hygiene(const LexedFile& lf, const FileInput& input,
+                          RuleSink& sink) {
+  const sv path{input.path};
+  if (is_header(path)) {
+    bool guarded = false;
+    for (const PpDirective& d : lf.directives) {
+      if (d.name == "pragma" && d.rest.starts_with("once")) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded && lf.directives.size() >= 2 &&
+        lf.directives[0].name == "ifndef" &&
+        lf.directives[1].name == "define" &&
+        !lf.directives[0].rest.empty() &&
+        lf.directives[1].rest.starts_with(lf.directives[0].rest)) {
+      guarded = true;
+    }
+    if (!guarded) {
+      sink.add(1, "header-hygiene",
+               "header lacks '#pragma once' (or a classic include guard)");
+    }
+    const auto& ts = lf.tokens;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].text == "using" && ts[i + 1].text == "namespace") {
+        sink.add(ts[i].line, "header-hygiene",
+                 "'using namespace' in a header leaks into every includer");
+      }
+    }
+  }
+  if (!input.expected_first_include.empty()) {
+    for (const PpDirective& d : lf.directives) {
+      if (d.name != "include") continue;
+      std::string target = d.rest;
+      if (target.size() >= 2 && (target.front() == '"' || target.front() == '<')) {
+        target = target.substr(1, target.size() - 2);
+      }
+      if (target != input.expected_first_include) {
+        sink.add(d.line, "header-hygiene",
+                 "first include must be the file's own header \"" +
+                     input.expected_first_include +
+                     "\" so the header is proven self-contained");
+      }
+      break;  // only the first include matters
+    }
+  }
+}
+
+// --- rule: banned-api -------------------------------------------------------
+
+void check_banned_api(const LexedFile& lf, const FileInput& input,
+                      RuleSink& sink) {
+  static const std::set<sv> kUnbounded = {"sprintf", "vsprintf", "gets",
+                                          "strcpy", "strcat"};
+  static const std::set<sv> kAscii = {"atoi", "atol", "atoll", "atof"};
+  static const std::set<sv> kStrto = {"strtol",  "strtoul",  "strtoll",
+                                      "strtoull", "strtof",  "strtod",
+                                      "strtold", "strtoimax", "strtoumax"};
+  const bool arena_file =
+      sv{input.path}.find("arena") != sv::npos;
+  const auto& ts = lf.tokens;
+
+  auto errno_near = [&ts](int line) {
+    return std::any_of(ts.begin(), ts.end(), [line](const Token& t) {
+      return t.text == "errno" && t.line >= line - 12 && t.line <= line + 12;
+    });
+  };
+
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(ts.size()); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != TokenKind::identifier) continue;
+    const Token* prev = tok_at(ts, i - 1);
+    const Token* next = tok_at(ts, i + 1);
+    if (t.text == "new") {
+      if (!arena_file) {
+        sink.add(t.line, "banned-api",
+                 "raw 'new' outside an arena; use std::make_unique / "
+                 "containers, or suppress with the owning arena's rationale");
+      }
+      continue;
+    }
+    if (t.text == "delete") {
+      if (is(prev, "=")) continue;  // deleted special member
+      if (!arena_file) {
+        sink.add(t.line, "banned-api",
+                 "raw 'delete' outside an arena; prefer RAII ownership");
+      }
+      continue;
+    }
+    if (is_member_access(prev)) continue;
+    if (!is(next, "(")) continue;
+    if (kUnbounded.count(t.text)) {
+      sink.add(t.line, "banned-api",
+               "'" + t.text + "' is unbounded; use the snprintf family");
+      continue;
+    }
+    if (kAscii.count(t.text)) {
+      sink.add(t.line, "banned-api",
+               "'" + t.text +
+                   "' has undefined behavior on overflow and no error "
+                   "reporting; use std::from_chars");
+      continue;
+    }
+    if (kStrto.count(t.text) && !errno_near(t.line)) {
+      sink.add(t.line, "banned-api",
+               "'" + t.text +
+                   "' without an errno check cannot detect overflow; check "
+                   "errno or use std::from_chars");
+    }
+  }
+}
+
+// --- suppression filtering --------------------------------------------------
+
+// swallowed-exception findings may be suppressed from inside the catch
+// block, so give them a wider window: catch line .. catch line + 3.
+bool suppressed(const Finding& f, const std::vector<Suppression>& sups) {
+  for (const Suppression& s : sups) {
+    if (s.rule != "*" && s.rule != f.rule) continue;
+    if (s.line == f.line || s.line + 1 == f.line) return true;
+    if (f.rule == "swallowed-exception" && s.line > f.line &&
+        s.line <= f.line + 3) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Suppression> find_suppressions(
+    const std::vector<CommentTok>& comments) {
+  std::vector<Suppression> out;
+  for (const CommentTok& c : comments) {
+    sv text{c.text};
+    std::size_t at = text.find("vqoe-lint:");
+    while (at != sv::npos) {
+      const std::size_t open = text.find("allow(", at);
+      if (open == sv::npos) break;
+      const std::size_t close = text.find(')', open);
+      if (close == sv::npos) break;
+      std::string rule{text.substr(open + 6, close - open - 6)};
+      out.push_back({c.line, std::move(rule)});
+      at = text.find("vqoe-lint:", close);
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> analyze(const FileInput& input) {
+  const LexedFile lf = lex(input.source);
+  std::vector<Finding> findings;
+  RuleSink sink{&input, &findings};
+
+  if (in_determinism_scope(input.path)) check_determinism(lf, sink);
+  if (in_syscall_scope(input.path)) check_unchecked_syscall(lf, sink);
+  check_swallowed_exception(lf, sink);
+  check_header_hygiene(lf, input, sink);
+  check_banned_api(lf, input, sink);
+
+  const std::vector<Suppression> sups = find_suppressions(lf.comments);
+  std::erase_if(findings,
+                [&sups](const Finding& f) { return suppressed(f, sups); });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace vqoe::lint

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -22,10 +24,11 @@ thread_local std::size_t tl_slot = 0;
 int env_threads() {
   const char* value = std::getenv("VQOE_THREADS");
   if (!value || !*value) return 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed < 0 || parsed > 4096) return 0;
-  return static_cast<int>(parsed);
+  int parsed = 0;
+  const char* end = value + std::strlen(value);
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc{} || ptr != end || parsed < 0 || parsed > 4096) return 0;
+  return parsed;
 }
 
 int auto_threads() {
@@ -158,7 +161,10 @@ struct Runtime {
 };
 
 Runtime& runtime() {
-  static Runtime* rt = new Runtime;  // leaked: workers may outlive main
+  // Deliberately leaked: pool workers may still be draining when static
+  // destructors run, so the Runtime must outlive main().
+  // vqoe-lint: allow(banned-api): intentional immortal singleton
+  static Runtime* rt = new Runtime;
   return *rt;
 }
 

@@ -5,6 +5,13 @@
 #include <random>
 #include <stdexcept>
 
+// GCC's -Wmaybe-uninitialized mistakes the disengaged std::optional
+// `open_stall_` for an uninitialized double once Playback is inlined into
+// play() (GCC PR80635); every read is guarded by has_value().
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace vqoe::sim {
 
 namespace {

@@ -17,11 +17,14 @@ std::string Statistic::name() const {
     case Kind::std_dev:
       return "std";
     case Kind::percentile: {
+      // Built via append: `"p" + std::to_string(...)` trips GCC 12's
+      // spurious -Wrestrict (PR105329) under -Werror.
       const auto rounded = static_cast<long long>(percentile);
-      if (static_cast<double>(rounded) == percentile) {
-        return "p" + std::to_string(rounded);
-      }
-      return "p" + std::to_string(percentile);
+      std::string out = "p";
+      out += static_cast<double>(rounded) == percentile
+                 ? std::to_string(rounded)
+                 : std::to_string(percentile);
+      return out;
     }
   }
   return "unknown";

@@ -61,6 +61,7 @@ Probe::Probe(ProbeOptions options) : options_(std::move(options)) {
 Probe::~Probe() {
   // No implicit finish(): destructing an unfinished probe must not block
   // on the collector. The abrupt close reads as a truncated stream there.
+  // vqoe-lint: allow(unchecked-syscall): socket close, no durable data
   if (fd_ >= 0) ::close(fd_);
 }
 

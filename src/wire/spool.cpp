@@ -69,10 +69,19 @@ SpoolWriter::SpoolWriter(std::filesystem::path dir, SpoolWriterOptions options)
 }
 
 SpoolWriter::~SpoolWriter() {
+  // Destructor path: we cannot throw, but we must not swallow either — a
+  // failed fsync/close here means the tail of the log may not be durable.
+  // Record the failure loudly; callers who need the error as a value call
+  // close() themselves before destruction (the durable path).
   try {
     close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vqoe::wire: spool close failed in destructor: %s\n",
+                 e.what());
   } catch (...) {
-    // Destructor path: the segment may be torn; the reader recovers.
+    std::fprintf(stderr,
+                 "vqoe::wire: spool close failed in destructor: unknown "
+                 "exception\n");
   }
 }
 

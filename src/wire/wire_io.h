@@ -88,6 +88,8 @@ class ScopedFd {
   ScopedFd& operator=(const ScopedFd&) = delete;
 
   void reset(int fd = -1) {
+    // Sockets only — durable descriptors (the spool) use checked ::close.
+    // vqoe-lint: allow(unchecked-syscall): socket close, no durable data
     if (fd_ >= 0) ::close(fd_);
     fd_ = fd;
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 
 #include "vqoe/core/pipeline.h"
@@ -15,35 +16,33 @@ class DetectorTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     auto options = workload::cleartext_corpus_options(900, 21);
-    corpus_ = new workload::Corpus{workload::generate_corpus(options)};
-    sessions_ = new std::vector<SessionRecord>{sessions_from_corpus(*corpus_)};
+    corpus_ = std::make_unique<workload::Corpus>(workload::generate_corpus(options));
+    sessions_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_corpus(*corpus_));
 
     auto has_options = workload::has_corpus_options(700, 22);
-    has_corpus_ = new workload::Corpus{workload::generate_corpus(has_options)};
-    has_sessions_ =
-        new std::vector<SessionRecord>{sessions_from_corpus(*has_corpus_)};
+    has_corpus_ =
+        std::make_unique<workload::Corpus>(workload::generate_corpus(has_options));
+    has_sessions_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_corpus(*has_corpus_));
   }
   static void TearDownTestSuite() {
-    delete corpus_;
-    delete sessions_;
-    delete has_corpus_;
-    delete has_sessions_;
-    corpus_ = nullptr;
-    sessions_ = nullptr;
-    has_corpus_ = nullptr;
-    has_sessions_ = nullptr;
+    corpus_.reset();
+    sessions_.reset();
+    has_corpus_.reset();
+    has_sessions_.reset();
   }
 
-  static workload::Corpus* corpus_;
-  static std::vector<SessionRecord>* sessions_;
-  static workload::Corpus* has_corpus_;
-  static std::vector<SessionRecord>* has_sessions_;
+  static std::unique_ptr<workload::Corpus> corpus_;
+  static std::unique_ptr<std::vector<SessionRecord>> sessions_;
+  static std::unique_ptr<workload::Corpus> has_corpus_;
+  static std::unique_ptr<std::vector<SessionRecord>> has_sessions_;
 };
 
-workload::Corpus* DetectorTest::corpus_ = nullptr;
-std::vector<SessionRecord>* DetectorTest::sessions_ = nullptr;
-workload::Corpus* DetectorTest::has_corpus_ = nullptr;
-std::vector<SessionRecord>* DetectorTest::has_sessions_ = nullptr;
+std::unique_ptr<workload::Corpus> DetectorTest::corpus_;
+std::unique_ptr<std::vector<SessionRecord>> DetectorTest::sessions_;
+std::unique_ptr<workload::Corpus> DetectorTest::has_corpus_;
+std::unique_ptr<std::vector<SessionRecord>> DetectorTest::has_sessions_;
 
 std::pair<std::vector<std::vector<ChunkObs>>, std::vector<StallLabel>>
 stall_training(const std::vector<SessionRecord>& sessions) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <unistd.h>
 
@@ -16,15 +17,13 @@ class ModelIoTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto options = workload::has_corpus_options(400, 91);
     options.keep_session_results = false;
-    sessions_ = new std::vector<SessionRecord>{
-        sessions_from_corpus(workload::generate_corpus(options))};
-    pipeline_ = new QoePipeline{QoePipeline::train(*sessions_)};
+    sessions_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_corpus(workload::generate_corpus(options)));
+    pipeline_ = std::make_unique<QoePipeline>(QoePipeline::train(*sessions_));
   }
   static void TearDownTestSuite() {
-    delete sessions_;
-    delete pipeline_;
-    sessions_ = nullptr;
-    pipeline_ = nullptr;
+    sessions_.reset();
+    pipeline_.reset();
   }
 
   void SetUp() override {
@@ -33,13 +32,13 @@ class ModelIoTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
-  static std::vector<SessionRecord>* sessions_;
-  static QoePipeline* pipeline_;
+  static std::unique_ptr<std::vector<SessionRecord>> sessions_;
+  static std::unique_ptr<QoePipeline> pipeline_;
   std::filesystem::path dir_;
 };
 
-std::vector<SessionRecord>* ModelIoTest::sessions_ = nullptr;
-QoePipeline* ModelIoTest::pipeline_ = nullptr;
+std::unique_ptr<std::vector<SessionRecord>> ModelIoTest::sessions_;
+std::unique_ptr<QoePipeline> ModelIoTest::pipeline_;
 
 TEST_F(ModelIoTest, StallDetectorRoundTrip) {
   std::stringstream stream;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 namespace vqoe::core {
 namespace {
@@ -12,33 +13,31 @@ class OnlineMonitorTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto train_options = workload::has_corpus_options(400, 17);
     train_options.keep_session_results = false;
-    pipeline_ = new QoePipeline{QoePipeline::train(
-        sessions_from_corpus(workload::generate_corpus(train_options)))};
+    pipeline_ = std::make_unique<QoePipeline>(QoePipeline::train(
+        sessions_from_corpus(workload::generate_corpus(train_options))));
 
     auto live_options = workload::encrypted_corpus_options(60, 18);
     live_options.keep_session_results = false;
     auto corpus = workload::generate_corpus(live_options);
-    records_ = new std::vector<trace::WeblogRecord>{
-        trace::encrypt_view(std::move(corpus.weblogs))};
-    truths_ = new std::vector<trace::SessionGroundTruth>{std::move(corpus.truths)};
+    records_ = std::make_unique<std::vector<trace::WeblogRecord>>(
+        trace::encrypt_view(std::move(corpus.weblogs)));
+    truths_ = std::make_unique<std::vector<trace::SessionGroundTruth>>(
+        std::move(corpus.truths));
   }
   static void TearDownTestSuite() {
-    delete pipeline_;
-    delete records_;
-    delete truths_;
-    pipeline_ = nullptr;
-    records_ = nullptr;
-    truths_ = nullptr;
+    pipeline_.reset();
+    records_.reset();
+    truths_.reset();
   }
 
-  static QoePipeline* pipeline_;
-  static std::vector<trace::WeblogRecord>* records_;
-  static std::vector<trace::SessionGroundTruth>* truths_;
+  static std::unique_ptr<QoePipeline> pipeline_;
+  static std::unique_ptr<std::vector<trace::WeblogRecord>> records_;
+  static std::unique_ptr<std::vector<trace::SessionGroundTruth>> truths_;
 };
 
-QoePipeline* OnlineMonitorTest::pipeline_ = nullptr;
-std::vector<trace::WeblogRecord>* OnlineMonitorTest::records_ = nullptr;
-std::vector<trace::SessionGroundTruth>* OnlineMonitorTest::truths_ = nullptr;
+std::unique_ptr<QoePipeline> OnlineMonitorTest::pipeline_;
+std::unique_ptr<std::vector<trace::WeblogRecord>> OnlineMonitorTest::records_;
+std::unique_ptr<std::vector<trace::SessionGroundTruth>> OnlineMonitorTest::truths_;
 
 TEST_F(OnlineMonitorTest, MatchesBatchReconstruction) {
   OnlineMonitor monitor{*pipeline_};

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace vqoe::core {
 namespace {
 
@@ -9,21 +11,20 @@ class PipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     auto options = workload::has_corpus_options(500, 33);
-    corpus_ = new workload::Corpus{workload::generate_corpus(options)};
-    sessions_ = new std::vector<SessionRecord>{sessions_from_corpus(*corpus_)};
+    corpus_ = std::make_unique<workload::Corpus>(workload::generate_corpus(options));
+    sessions_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_corpus(*corpus_));
   }
   static void TearDownTestSuite() {
-    delete corpus_;
-    delete sessions_;
-    corpus_ = nullptr;
-    sessions_ = nullptr;
+    corpus_.reset();
+    sessions_.reset();
   }
-  static workload::Corpus* corpus_;
-  static std::vector<SessionRecord>* sessions_;
+  static std::unique_ptr<workload::Corpus> corpus_;
+  static std::unique_ptr<std::vector<SessionRecord>> sessions_;
 };
 
-workload::Corpus* PipelineTest::corpus_ = nullptr;
-std::vector<SessionRecord>* PipelineTest::sessions_ = nullptr;
+std::unique_ptr<workload::Corpus> PipelineTest::corpus_;
+std::unique_ptr<std::vector<SessionRecord>> PipelineTest::sessions_;
 
 TEST_F(PipelineTest, SessionsFromCorpusCoverAllTruths) {
   EXPECT_EQ(sessions_->size(), corpus_->truths.size());

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -65,18 +66,15 @@ class MonitorEngineTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto train_options = workload::has_corpus_options(300, 171);
     train_options.keep_session_results = false;
-    pipeline_ = new QoePipeline{QoePipeline::train(
-        core::sessions_from_corpus(workload::generate_corpus(train_options)))};
+    pipeline_ = std::make_unique<QoePipeline>(QoePipeline::train(
+        core::sessions_from_corpus(workload::generate_corpus(train_options))));
   }
-  static void TearDownTestSuite() {
-    delete pipeline_;
-    pipeline_ = nullptr;
-  }
+  static void TearDownTestSuite() { pipeline_.reset(); }
 
-  static QoePipeline* pipeline_;
+  static std::unique_ptr<QoePipeline> pipeline_;
 };
 
-QoePipeline* MonitorEngineTest::pipeline_ = nullptr;
+std::unique_ptr<QoePipeline> MonitorEngineTest::pipeline_;
 
 /// A hand-built media chunk on the default (YouTube) CDN.
 trace::WeblogRecord media_record(const std::string& subscriber, double t_s,

@@ -4,6 +4,8 @@
 // loose thresholds so they stay robust to seed changes.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "vqoe/core/pipeline.h"
 #include "vqoe/ml/cross_validation.h"
 #include "vqoe/ml/feature_selection.h"
@@ -16,37 +18,36 @@ class EndToEnd : public ::testing::Test {
   static void SetUpTestSuite() {
     // Cleartext training corpus (mixed progressive/HAS, Section 3).
     auto clear_options = workload::cleartext_corpus_options(2500, 42);
-    clear_ = new std::vector<SessionRecord>{
-        sessions_from_corpus(workload::generate_corpus(clear_options))};
+    clear_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_corpus(workload::generate_corpus(clear_options)));
 
     // HAS training corpus for representation/switch models (Section 4.2).
     auto has_options = workload::has_corpus_options(1500, 43);
-    has_ = new std::vector<SessionRecord>{
-        sessions_from_corpus(workload::generate_corpus(has_options))};
+    has_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_corpus(workload::generate_corpus(has_options)));
 
     // Encrypted evaluation corpus (Section 5.2), reconstructed.
     auto enc_options = workload::encrypted_corpus_options(400, 4242);
     enc_options.keep_session_results = false;
     auto enc_corpus = workload::generate_corpus(enc_options);
     enc_corpus.weblogs = trace::encrypt_view(std::move(enc_corpus.weblogs));
-    encrypted_ = new std::vector<SessionRecord>{
-        sessions_from_encrypted(enc_corpus.weblogs, enc_corpus.truths)};
+    encrypted_ = std::make_unique<std::vector<SessionRecord>>(
+        sessions_from_encrypted(enc_corpus.weblogs, enc_corpus.truths));
   }
   static void TearDownTestSuite() {
-    delete clear_;
-    delete has_;
-    delete encrypted_;
-    clear_ = has_ = encrypted_ = nullptr;
+    clear_.reset();
+    has_.reset();
+    encrypted_.reset();
   }
 
-  static std::vector<SessionRecord>* clear_;
-  static std::vector<SessionRecord>* has_;
-  static std::vector<SessionRecord>* encrypted_;
+  static std::unique_ptr<std::vector<SessionRecord>> clear_;
+  static std::unique_ptr<std::vector<SessionRecord>> has_;
+  static std::unique_ptr<std::vector<SessionRecord>> encrypted_;
 };
 
-std::vector<SessionRecord>* EndToEnd::clear_ = nullptr;
-std::vector<SessionRecord>* EndToEnd::has_ = nullptr;
-std::vector<SessionRecord>* EndToEnd::encrypted_ = nullptr;
+std::unique_ptr<std::vector<SessionRecord>> EndToEnd::clear_;
+std::unique_ptr<std::vector<SessionRecord>> EndToEnd::has_;
+std::unique_ptr<std::vector<SessionRecord>> EndToEnd::encrypted_;
 
 TEST_F(EndToEnd, CorpusShapeMatchesPaper) {
   // ~12% of sessions stalled; stall-free majority.

@@ -1,0 +1,120 @@
+// Baseline round-trip: write findings out, load them back, and verify the
+// zero-new-findings gate plus stale-entry accounting.
+#include "vqoe/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vqoe::lint {
+namespace {
+
+std::vector<Finding> sample_findings() {
+  return {
+      {"src/par/a.cpp", 10, "determinism", "msg one"},
+      {"src/wire/b.cpp", 3, "unchecked-syscall", "msg two"},
+      {"src/par/a.cpp", 10, "banned-api", "msg three"},
+  };
+}
+
+TEST(LintBaseline, KeyIsStableAcrossMessageRewording) {
+  Finding f{"src/par/a.cpp", 10, "determinism", "original"};
+  const std::string key = baseline_key(f);
+  f.message = "reworded";
+  EXPECT_EQ(baseline_key(f), key);
+  EXPECT_EQ(key, "src/par/a.cpp:10:determinism");
+}
+
+TEST(LintBaseline, WriteLoadRoundTripSuppressesEverything) {
+  const std::filesystem::path path =
+      std::filesystem::path{::testing::TempDir()} / "vqoe_lint_baseline_rt";
+  {
+    std::ofstream out{path};
+    out << write_baseline(sample_findings());
+  }
+  auto findings = sample_findings();
+  const std::size_t stale = apply_baseline(findings, load_baseline(path));
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(stale, 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(LintBaseline, NewFindingSurvivesTheGate) {
+  const std::string serialized = write_baseline(sample_findings());
+  const std::filesystem::path path =
+      std::filesystem::path{::testing::TempDir()} / "vqoe_lint_baseline_new";
+  {
+    std::ofstream out{path};
+    out << serialized;
+  }
+  auto findings = sample_findings();
+  findings.push_back({"src/par/c.cpp", 7, "determinism", "fresh"});
+  const std::size_t stale = apply_baseline(findings, load_baseline(path));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/par/c.cpp");
+  EXPECT_EQ(stale, 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(LintBaseline, StaleEntriesAreCounted) {
+  // Two grandfathered findings got fixed: the gate still passes but the
+  // stale count tells the caller to regenerate the baseline.
+  const std::filesystem::path path =
+      std::filesystem::path{::testing::TempDir()} / "vqoe_lint_baseline_stale";
+  {
+    std::ofstream out{path};
+    out << write_baseline(sample_findings());
+  }
+  auto findings = sample_findings();
+  findings.resize(1);  // the other two no longer occur
+  const std::size_t stale = apply_baseline(findings, load_baseline(path));
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(stale, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(LintBaseline, MissingFileIsAnEmptyBaseline) {
+  const auto keys = load_baseline("/nonexistent/vqoe-lint-baseline");
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(LintBaseline, LoaderSkipsCommentsBlanksAndCrLf) {
+  const std::filesystem::path path =
+      std::filesystem::path{::testing::TempDir()} / "vqoe_lint_baseline_fmt";
+  {
+    std::ofstream out{path};
+    out << "# header comment\n\nsrc/a.cpp:1:banned-api\r\n"
+           "src/b.cpp:2:determinism  \n";
+  }
+  const auto keys = load_baseline(path);
+  const std::vector<std::string> expected = {"src/a.cpp:1:banned-api",
+                                             "src/b.cpp:2:determinism"};
+  EXPECT_EQ(keys, expected);
+  std::filesystem::remove(path);
+}
+
+TEST(LintBaseline, SerializationIsSortedDedupedAndCommented) {
+  auto findings = sample_findings();
+  findings.push_back(findings.front());  // duplicate key
+  const std::string text = write_baseline(findings);
+  EXPECT_TRUE(text.starts_with("#"));
+  // Sorted keys, duplicate collapsed.
+  const std::string a = "src/par/a.cpp:10:banned-api";
+  const std::string b = "src/par/a.cpp:10:determinism";
+  const std::string c = "src/wire/b.cpp:3:unchecked-syscall";
+  const std::size_t pa = text.find(a);
+  const std::size_t pb = text.find(b);
+  const std::size_t pc = text.find(c);
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pb, std::string::npos);
+  ASSERT_NE(pc, std::string::npos);
+  EXPECT_LT(pa, pb);
+  EXPECT_LT(pb, pc);
+  EXPECT_EQ(text.find(a, pa + 1), std::string::npos);  // no duplicate
+}
+
+}  // namespace
+}  // namespace vqoe::lint

@@ -1,0 +1,44 @@
+// Deliberately broken fixture — NOT compiled. Analyzed as
+// "src/trace/banned_bad.cpp"; banned-api applies everywhere, the path
+// just avoids the determinism modules.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+void unbounded(char* dst, const char* src) {
+  std::sprintf(dst, "%s", src);  // expect: banned-api
+  strcpy(dst, src);              // expect: banned-api
+}
+
+int ascii_conversion(const char* s) {
+  return atoi(s);  // expect: banned-api
+}
+
+long conversion_without_errno(const char* s) {
+  return strtol(s, nullptr, 10);  // expect: banned-api
+}
+
+int* raw_alloc() {
+  return new int[4];  // expect: banned-api
+}
+
+void raw_free(int* p) {
+  delete[] p;  // expect: banned-api
+}
+
+// Negative cases. The errno tokens below sit more than 12 lines from the
+// flagged strtol above, outside the rule's proximity window, so only the
+// errno-checked call here is exempt.
+long conversion_with_errno(const char* s) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = strtol(s, &end, 10);
+  if (errno == ERANGE) return 0;
+  return v;
+}
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;  // deleted special member is fine
+};

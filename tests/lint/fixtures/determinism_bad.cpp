@@ -1,0 +1,43 @@
+// Deliberately broken fixture — NOT compiled, NOT part of the default scan.
+// fixtures_test.cpp analyzes it under the synthetic path
+// "src/par/determinism_bad.cpp" to opt into the determinism scope and
+// asserts one finding per `expect:` marker, on the marker's line.
+#include <chrono>
+#include <clocale>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int ambient_rand() {
+  return std::rand();  // expect: determinism
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // expect: determinism
+  return rd();
+}
+
+long wall_clock() {
+  return std::time(nullptr);  // expect: determinism
+}
+
+void ambient_locale() {
+  std::setlocale(LC_ALL, "");  // expect: determinism
+}
+
+void host_locale() {
+  const std::locale loc{""};  // expect: determinism
+  (void)loc;
+}
+
+long chrono_now() {
+  const auto t = std::chrono::system_clock::now();  // expect: determinism
+  return t.time_since_epoch().count();
+}
+
+// Negative cases: explicitly seeded generators are the sanctioned idiom.
+std::uint64_t seeded_ok(std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  return rng();
+}

@@ -1,0 +1,6 @@
+// expect: header-hygiene — no '#pragma once' or include guard (line 1)
+// Deliberately broken fixture header — NOT compiled, NOT installed.
+namespace lint_fixture {
+inline int answer() { return 42; }
+}  // namespace lint_fixture
+using namespace lint_fixture;  // expect: header-hygiene

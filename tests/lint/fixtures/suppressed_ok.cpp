@@ -1,0 +1,18 @@
+// Fixture — NOT compiled. Analyzed as "src/par/suppressed_ok.cpp": every
+// violation carries an inline suppression, so analyze() must return zero
+// findings. Exercises the same-line window, the line-above window, and
+// the '*' wildcard.
+#include <cstdlib>
+
+int line_above_window() {
+  // vqoe-lint: allow(determinism): fixture exercises the line-above window
+  return std::rand();
+}
+
+int same_line_window() {
+  return std::rand();  // vqoe-lint: allow(determinism): same-line window
+}
+
+int* wildcard_window() {
+  return new int;  // vqoe-lint: allow(*): wildcard suppression
+}

@@ -1,0 +1,36 @@
+// Deliberately broken fixture — NOT compiled. Analyzed as
+// "src/trace/swallowed_bad.cpp" (the rule applies everywhere; the path
+// just avoids the determinism modules).
+void may_throw();
+
+void swallows() {
+  try {
+    may_throw();
+  } catch (...) {  // expect: swallowed-exception
+  }
+}
+
+void rethrows() {
+  try {
+    may_throw();
+  } catch (...) {
+    throw;
+  }
+}
+
+int records() {
+  try {
+    may_throw();
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}
+
+void suppressed_from_inside() {
+  try {
+    may_throw();
+  } catch (...) {
+    // vqoe-lint: allow(swallowed-exception): fixture proves the in-block window
+  }
+}

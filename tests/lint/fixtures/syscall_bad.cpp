@@ -1,0 +1,55 @@
+// Deliberately broken fixture — NOT compiled. Analyzed as
+// "src/wire/syscall_bad.cpp" so the unchecked-syscall rule applies. The
+// rule only considers ::-qualified calls (the src/wire POSIX idiom), so
+// the member/bare calls at the bottom must stay clean.
+#include <unistd.h>
+
+void unchecked_close(int fd) {
+  ::close(fd);  // expect: unchecked-syscall
+}
+
+void void_discard(int fd, const void* p, unsigned long n) {
+  (void)::write(fd, p, n);  // expect: unchecked-syscall
+}
+
+void void_bang_discard(int fd, const void* p, unsigned long n) {
+  (void)!::write(fd, p, n);  // expect: unchecked-syscall
+}
+
+void unchecked_in_branch(int fd) {
+  if (fd >= 0) {
+    ::fsync(fd);  // expect: unchecked-syscall
+  }
+}
+
+// Negative cases: consumed results and non-global calls.
+bool compared(int fd) {
+  return ::close(fd) == 0;
+}
+
+long assigned(int fd, void* p, unsigned long n) {
+  const long got = ::read(fd, p, n);
+  return got;
+}
+
+void retried(int fd, const void* p, unsigned long n) {
+  while (::write(fd, p, n) < 0) {
+  }
+}
+
+struct Transport {
+  long send(const void* p, unsigned long n);
+  void flush(const void* p, unsigned long n) {
+    if (send(p, n) < 0) {
+    }
+  }
+};
+
+long Transport::send(const void*, unsigned long) {  // qualified member def
+  return 0;
+}
+
+void member_call(Transport& t, const void* p, unsigned long n) {
+  if (t.send(p, n) < 0) {
+  }
+}

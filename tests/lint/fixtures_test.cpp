@@ -1,0 +1,125 @@
+// Fixture self-tests: every file under tests/lint/fixtures is analyzed
+// under a synthetic repo-relative path (choosing the rule scope) and must
+// produce exactly the findings its `// expect: <rule>` markers declare —
+// right rule, right line, nothing else.
+#include "vqoe/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vqoe::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path{VQOE_LINT_FIXTURES} / name;
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+bool is_rule_char(char c) {
+  return std::islower(static_cast<unsigned char>(c)) != 0 || c == '-';
+}
+
+/// Parses `expect: rule[, rule]` markers out of the fixture's own comments
+/// (reusing the analyzer's lexer, so marker lines match finding lines by
+/// construction).
+std::vector<std::pair<int, std::string>> expected_markers(
+    const std::string& source) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const CommentTok& c : lex(source).comments) {
+    std::size_t at = c.text.find("expect:");
+    if (at == std::string::npos) continue;
+    std::size_t i = at + 7;
+    while (true) {
+      while (i < c.text.size() && c.text[i] == ' ') ++i;
+      std::size_t begin = i;
+      while (i < c.text.size() && is_rule_char(c.text[i])) ++i;
+      if (i == begin) break;
+      out.emplace_back(c.line, c.text.substr(begin, i - begin));
+      if (i < c.text.size() && c.text[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expect_exact(const std::string& fixture, const std::string& path) {
+  FileInput input;
+  input.path = path;
+  input.source = read_fixture(fixture);
+  ASSERT_FALSE(input.source.empty()) << fixture;
+  std::vector<std::pair<int, std::string>> got;
+  for (const Finding& f : analyze(input)) got.emplace_back(f.line, f.rule);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected_markers(input.source)) << fixture << " as " << path;
+}
+
+TEST(LintFixtures, Determinism) {
+  expect_exact("determinism_bad.cpp", "src/par/determinism_bad.cpp");
+}
+
+TEST(LintFixtures, DeterminismVanishesOutOfScope) {
+  // The identical file under a non-batch path produces no findings at all:
+  // nothing in it violates the everywhere-rules.
+  FileInput input;
+  input.path = "src/trace/determinism_bad.cpp";
+  input.source = read_fixture("determinism_bad.cpp");
+  EXPECT_TRUE(analyze(input).empty());
+}
+
+TEST(LintFixtures, UncheckedSyscalls) {
+  expect_exact("syscall_bad.cpp", "src/wire/syscall_bad.cpp");
+}
+
+TEST(LintFixtures, SwallowedExceptions) {
+  expect_exact("swallowed_bad.cpp", "src/trace/swallowed_bad.cpp");
+}
+
+TEST(LintFixtures, HeaderHygiene) {
+  expect_exact("header_bad.h", "src/trace/header_bad.h");
+}
+
+TEST(LintFixtures, BannedApis) {
+  expect_exact("banned_bad.cpp", "src/trace/banned_bad.cpp");
+}
+
+TEST(LintFixtures, SuppressionsSilenceEverything) {
+  FileInput input;
+  input.path = "src/par/suppressed_ok.cpp";
+  input.source = read_fixture("suppressed_ok.cpp");
+  ASSERT_FALSE(input.source.empty());
+  std::vector<std::string> printed;
+  for (const Finding& f : analyze(input)) printed.push_back(format(f));
+  EXPECT_TRUE(printed.empty()) << printed.front();
+}
+
+TEST(LintFixtures, FormatMatchesContract) {
+  // file:line: rule: message — the grep-able output shape the CI job and
+  // editors key off.
+  FileInput input;
+  input.path = "src/par/determinism_bad.cpp";
+  input.source = "int f() { return std::rand(); }\n";
+  const auto findings = analyze(input);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(format(findings[0])
+                  .starts_with("src/par/determinism_bad.cpp:1: determinism: "));
+}
+
+}  // namespace
+}  // namespace vqoe::lint

@@ -1,0 +1,117 @@
+#include "vqoe/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vqoe::lint {
+namespace {
+
+std::vector<std::string> texts(const LexedFile& lf) {
+  std::vector<std::string> out;
+  out.reserve(lf.tokens.size());
+  for (const Token& t : lf.tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(LintLexer, TracksLinesAndSplitsMultiCharOperators) {
+  const auto lf = lex("a::b\n->c ... x==y\n");
+  const std::vector<std::string> expected = {"a", "::", "b", "->", "c",
+                                             "...", "x", "==", "y"};
+  EXPECT_EQ(texts(lf), expected);
+  EXPECT_EQ(lf.tokens[0].line, 1);  // a
+  EXPECT_EQ(lf.tokens[3].line, 2);  // ->
+  EXPECT_EQ(lf.tokens[8].line, 2);  // y
+  EXPECT_EQ(lf.tokens[1].kind, TokenKind::punct);
+  EXPECT_EQ(lf.tokens[0].kind, TokenKind::identifier);
+}
+
+TEST(LintLexer, CommentsAreCapturedNotTokenized) {
+  const auto lf = lex("int a; // trailing note\n/* block\nspans */ int b;\n");
+  const std::vector<std::string> expected = {"int", "a", ";", "int", "b", ";"};
+  EXPECT_EQ(texts(lf), expected);
+  ASSERT_EQ(lf.comments.size(), 2u);
+  EXPECT_EQ(lf.comments[0].line, 1);
+  EXPECT_EQ(lf.comments[0].text, "trailing note");
+  EXPECT_EQ(lf.comments[1].line, 2);
+  EXPECT_EQ(lf.comments[1].end_line, 3);  // block comment spans two lines
+}
+
+TEST(LintLexer, StringContentsNeverLeakTokens) {
+  // A violation spelled inside a string or char literal must not produce
+  // identifier tokens the rules could match.
+  const auto lf = lex("const char* s = \"std::rand() ::close(fd)\";\n"
+                      "char c = ':';\n");
+  for (const Token& t : lf.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "close");
+  }
+  ASSERT_GE(lf.tokens.size(), 6u);
+  EXPECT_EQ(lf.tokens[5].kind, TokenKind::string_lit);
+}
+
+TEST(LintLexer, RawStringsSwallowTheirBodyAndCountLines) {
+  const auto lf = lex("auto s = R\"(rand()\nline2 \"quoted\")\";\nint tail;\n");
+  bool saw_rand = false;
+  for (const Token& t : lf.tokens) {
+    if (t.text == "rand") saw_rand = true;
+  }
+  EXPECT_FALSE(saw_rand);
+  // `tail` sits after the two-line raw string: line numbering must survive.
+  ASSERT_EQ(lf.tokens.back().text, ";");
+  EXPECT_EQ(lf.tokens.back().line, 3);
+}
+
+TEST(LintLexer, EscapedQuoteStaysInsideString) {
+  const auto lf = lex("auto s = \"a\\\"b\"; int after;\n");
+  std::vector<std::string> ids;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == TokenKind::identifier) ids.push_back(t.text);
+  }
+  const std::vector<std::string> expected = {"auto", "s", "int", "after"};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(LintLexer, DirectivesJoinContinuationsAndSkipTokenStream) {
+  const auto lf = lex("#include \"vqoe/lint/lint.h\"\n"
+                      "#define WIDE \\\n  42\n"
+                      "int x = WIDE;\n");
+  ASSERT_EQ(lf.directives.size(), 2u);
+  EXPECT_EQ(lf.directives[0].name, "include");
+  EXPECT_EQ(lf.directives[0].rest, "\"vqoe/lint/lint.h\"");
+  EXPECT_EQ(lf.directives[1].name, "define");
+  EXPECT_EQ(lf.directives[1].line, 2);
+  EXPECT_TRUE(lf.directives[1].rest.starts_with("WIDE"));
+  // Directive text contributes no tokens; the continuation advanced the
+  // line counter so `int x` lands on line 4.
+  EXPECT_EQ(lf.tokens.front().text, "int");
+  EXPECT_EQ(lf.tokens.front().line, 4);
+}
+
+TEST(LintLexer, HashMidLineIsNotADirective) {
+  const auto lf = lex("int a; #define NOPE\n#define YES 1\n");
+  ASSERT_EQ(lf.directives.size(), 1u);
+  EXPECT_EQ(lf.directives[0].name, "define");
+  EXPECT_EQ(lf.directives[0].line, 2);
+  EXPECT_TRUE(lf.directives[0].rest.starts_with("YES"));
+}
+
+TEST(LintLexer, NumbersWithExponentsAndSeparatorsAreOneToken) {
+  const auto lf = lex("double d = 1.5e-3; auto n = 1'000'000;\n");
+  std::vector<std::string> nums;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == TokenKind::number) nums.push_back(t.text);
+  }
+  const std::vector<std::string> expected = {"1.5e-3", "1'000'000"};
+  EXPECT_EQ(nums, expected);
+}
+
+TEST(LintLexer, UnterminatedLiteralEndsAtEofWithoutThrowing) {
+  EXPECT_NO_THROW(lex("auto s = \"never closed"));
+  EXPECT_NO_THROW(lex("auto s = R\"(never closed"));
+  EXPECT_NO_THROW(lex("/* never closed"));
+}
+
+}  // namespace
+}  // namespace vqoe::lint

@@ -1,0 +1,253 @@
+// Rule-level tests on inline snippets. Snippets need not compile — the
+// analyzer is token-level — which lets each case isolate exactly one
+// behavior: scoping by path, consumption analysis, suppression windows.
+#include "vqoe/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vqoe::lint {
+namespace {
+
+std::vector<Finding> run(const std::string& path, const std::string& source,
+                         const std::string& first_include = {}) {
+  FileInput input;
+  input.path = path;
+  input.source = source;
+  input.expected_first_include = first_include;
+  return analyze(input);
+}
+
+std::vector<std::pair<int, std::string>> lines_and_rules(
+    const std::vector<Finding>& fs) {
+  std::vector<std::pair<int, std::string>> out;
+  out.reserve(fs.size());
+  for (const Finding& f : fs) out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+using Expected = std::vector<std::pair<int, std::string>>;
+
+// --- determinism ------------------------------------------------------------
+
+TEST(LintRules, DeterminismFiresOnlyInBatchModules) {
+  const std::string source = "int f() { return std::rand(); }\n";
+  for (const char* scoped : {"src/par/x.cpp", "src/ml/x.cpp",
+                             "src/workload/x.cpp", "src/sim/x.cpp",
+                             "src/ts/x.cpp", "src/core/x.cpp"}) {
+    const auto fs = run(scoped, source);
+    ASSERT_EQ(fs.size(), 1u) << scoped;
+    EXPECT_EQ(fs[0].rule, "determinism") << scoped;
+    EXPECT_EQ(fs[0].line, 1) << scoped;
+    EXPECT_EQ(fs[0].file, scoped);
+  }
+  for (const char* unscoped :
+       {"src/wire/x.cpp", "src/trace/x.cpp", "tools/x.cpp", "tests/x.cpp"}) {
+    EXPECT_TRUE(run(unscoped, source).empty()) << unscoped;
+  }
+}
+
+TEST(LintRules, DeterminismSkipsMemberAccessAndBareNames) {
+  // x.random() / r->time(...) are the caller's own members; `random` not
+  // followed by a call is just a name.
+  EXPECT_TRUE(run("src/par/x.cpp",
+                  "int f(R& x, S* r) { return x.random() + r->time(0); }\n")
+                  .empty());
+  EXPECT_TRUE(run("src/par/x.cpp", "int random = 3;\n").empty());
+}
+
+TEST(LintRules, DeterminismFlagsTypesEvenWithoutCall) {
+  const auto fs =
+      run("src/core/x.cpp", "using clock = std::chrono::system_clock;\n");
+  const Expected expected = {{1, "determinism"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+}
+
+// --- unchecked-syscall ------------------------------------------------------
+
+TEST(LintRules, SyscallRuleOnlyAppliesToWire) {
+  const std::string source = "void f(int fd) {\n  ::close(fd);\n}\n";
+  const auto fs = run("src/wire/x.cpp", source);
+  const Expected expected = {{2, "unchecked-syscall"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+  EXPECT_TRUE(run("src/engine/x.cpp", source).empty());
+}
+
+TEST(LintRules, SyscallConsumptionForms) {
+  // Each consumed form must stay clean.
+  const char* clean[] = {
+      "bool f(int fd) { return ::close(fd) == 0; }\n",
+      "void f(int fd) { int rc = ::close(fd); (void)rc; }\n",
+      "void f(int fd) { if (::fsync(fd) != 0) {} }\n",
+      "void f(int fd, const void* p, long n) {\n"
+      "  while (::write(fd, p, n) < 0) {}\n}\n",
+      "long f(int fd, void* p, long n) { return ::read(fd, p, n); }\n",
+  };
+  for (const char* source : clean) {
+    EXPECT_TRUE(run("src/wire/x.cpp", source).empty()) << source;
+  }
+}
+
+TEST(LintRules, SyscallVoidDiscardIsItsOwnFinding) {
+  const auto fs = run("src/wire/x.cpp",
+                      "void f(int fd, const void* p, long n) {\n"
+                      "  (void)::write(fd, p, n);\n"
+                      "  (void)!::write(fd, p, n);\n"
+                      "}\n");
+  const Expected expected = {{2, "unchecked-syscall"},
+                             {3, "unchecked-syscall"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+  for (const Finding& f : fs) {
+    EXPECT_NE(f.message.find("(void) cast"), std::string::npos);
+  }
+}
+
+TEST(LintRules, SyscallQualifiedMemberIsNotAPosixCall) {
+  EXPECT_TRUE(run("src/wire/x.cpp",
+                  "long Probe::send(const void* p, long n) { return 0; }\n"
+                  "void f(Probe& p) { p.close(); }\n"
+                  "void g() { close(); }\n")
+                  .empty());
+}
+
+// --- swallowed-exception ----------------------------------------------------
+
+TEST(LintRules, SwallowedExceptionOnlyFlagsEmptyCatchAll) {
+  const auto fs = run("tools/x.cpp",
+                      "void f() {\n"
+                      "  try { g(); } catch (...) {\n"
+                      "  }\n"
+                      "  try { g(); } catch (...) { throw; }\n"
+                      "  try { g(); } catch (const std::exception&) {\n"
+                      "  }\n"
+                      "}\n");
+  const Expected expected = {{2, "swallowed-exception"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+}
+
+// --- header-hygiene ---------------------------------------------------------
+
+TEST(LintRules, HeaderGuardVariants) {
+  EXPECT_TRUE(run("src/a/x.h", "#pragma once\nint f();\n").empty());
+  EXPECT_TRUE(
+      run("src/a/x.h", "#ifndef VQOE_X_H\n#define VQOE_X_H\nint f();\n#endif\n")
+          .empty());
+  const auto fs = run("src/a/x.h", "int f();\n");
+  const Expected expected = {{1, "header-hygiene"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+  // A define that does not match the ifndef is not a guard.
+  const auto mismatched =
+      run("src/a/x.h", "#ifndef VQOE_X_H\n#define OTHER\nint f();\n#endif\n");
+  EXPECT_EQ(lines_and_rules(mismatched), expected);
+}
+
+TEST(LintRules, UsingNamespaceFlaggedInHeadersOnly) {
+  const std::string source = "#pragma once\nusing namespace std;\n";
+  const auto fs = run("src/a/x.h", source);
+  const Expected expected = {{2, "header-hygiene"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+  EXPECT_TRUE(run("src/a/x.cpp", "using namespace std;\n").empty());
+}
+
+TEST(LintRules, FirstIncludeMustBeOwnHeader) {
+  EXPECT_TRUE(run("src/a/x.cpp",
+                  "#include \"vqoe/a/x.h\"\n#include <vector>\n",
+                  "vqoe/a/x.h")
+                  .empty());
+  const auto fs = run("src/a/x.cpp",
+                      "#include <vector>\n#include \"vqoe/a/x.h\"\n",
+                      "vqoe/a/x.h");
+  const Expected expected = {{1, "header-hygiene"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+  // No expectation configured → nothing to enforce.
+  EXPECT_TRUE(run("src/a/x.cpp", "#include <vector>\n").empty());
+}
+
+// --- banned-api -------------------------------------------------------------
+
+TEST(LintRules, BannedApiCoversAllFamilies) {
+  const auto fs = run("tools/x.cpp",
+                      "void f(char* d, const char* s) {\n"
+                      "  sprintf(d, \"%s\", s);\n"
+                      "  int a = atoi(s);\n"
+                      "  long l = strtol(s, nullptr, 10);\n"
+                      "  int* p = new int;\n"
+                      "  delete p;\n"
+                      "}\n");
+  const Expected expected = {{2, "banned-api"},
+                             {3, "banned-api"},
+                             {4, "banned-api"},
+                             {5, "banned-api"},
+                             {6, "banned-api"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+}
+
+TEST(LintRules, StrtoWithNearbyErrnoCheckIsExempt) {
+  EXPECT_TRUE(run("tools/x.cpp",
+                  "long f(const char* s) {\n"
+                  "  errno = 0;\n"
+                  "  long v = strtol(s, nullptr, 10);\n"
+                  "  if (errno) return 0;\n"
+                  "  return v;\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(LintRules, DeletedSpecialMembersAndArenasAreExempt) {
+  EXPECT_TRUE(
+      run("src/a/x.cpp", "struct S { S(const S&) = delete; };\n").empty());
+  // Files with "arena" in the path own raw allocation by design.
+  EXPECT_TRUE(
+      run("src/core/arena.cpp", "char* f() { return new char[64]; }\n")
+          .empty());
+}
+
+// --- suppression windows ----------------------------------------------------
+
+TEST(LintRules, SuppressionCoversMarkerLineAndNextLineOnly) {
+  // Marker directly above: suppressed.
+  EXPECT_TRUE(run("src/par/x.cpp",
+                  "// vqoe-lint: allow(determinism): test\n"
+                  "int f() { return std::rand(); }\n")
+                  .empty());
+  // Marker two lines above: out of the window, still reported.
+  const auto fs = run("src/par/x.cpp",
+                      "// vqoe-lint: allow(determinism): test\n"
+                      "\n"
+                      "int f() { return std::rand(); }\n");
+  const Expected expected = {{3, "determinism"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+}
+
+TEST(LintRules, SuppressionIsRuleSpecific) {
+  // A determinism allowance must not hide a banned-api finding.
+  const auto fs = run("src/par/x.cpp",
+                      "int* f() { return new int; }"
+                      "  // vqoe-lint: allow(determinism): wrong rule\n");
+  const Expected expected = {{1, "banned-api"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+}
+
+TEST(LintRules, FindSuppressionsParsesMultipleAllowances) {
+  const auto lf =
+      lex("// vqoe-lint: allow(determinism): a vqoe-lint: allow(banned-api): b\n");
+  const auto sups = find_suppressions(lf.comments);
+  ASSERT_EQ(sups.size(), 2u);
+  EXPECT_EQ(sups[0].rule, "determinism");
+  EXPECT_EQ(sups[1].rule, "banned-api");
+  EXPECT_EQ(sups[0].line, 1);
+}
+
+TEST(LintRules, FindingsComeBackSorted) {
+  const auto fs = run("src/par/x.cpp",
+                      "int* g() { return new int; }\n"
+                      "int f() { return std::rand(); }\n");
+  const Expected expected = {{1, "banned-api"}, {2, "determinism"}};
+  EXPECT_EQ(lines_and_rules(fs), expected);
+}
+
+}  // namespace
+}  // namespace vqoe::lint

@@ -1,0 +1,50 @@
+// The gate: linting the real tree (same paths, excludes and baseline as
+// the vqoe_lint CLI and the CI static-analysis job) must come back clean.
+// Running it under the `lint` ctest label makes every local `ctest` and
+// every CI lane a static-analysis run.
+#include "vqoe/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vqoe::lint {
+namespace {
+
+TEST(LintTreeGate, RepositoryIsCleanOutsideTheBaseline) {
+  TreeOptions options;
+  options.root = VQOE_LINT_REPO_ROOT;
+  options.paths = {"src", "bench", "tools", "examples", "tests"};
+  options.excludes = {"tests/lint/fixtures"};
+
+  TreeReport report = analyze_tree(options);
+  // Guard against a silently-empty walk: the tree has well over a hundred
+  // lintable files, and that number only grows.
+  EXPECT_GT(report.files_scanned, 100u);
+
+  const std::size_t stale = apply_baseline(
+      report.findings,
+      load_baseline(options.root / ".vqoe-lint-baseline"));
+  EXPECT_EQ(stale, 0u) << "baseline lists findings that no longer occur; "
+                          "regenerate with vqoe_lint --write-baseline";
+
+  std::string listing;
+  for (const Finding& f : report.findings) listing += format(f) + "\n";
+  EXPECT_TRUE(report.findings.empty())
+      << "new findings outside the baseline:\n"
+      << listing;
+}
+
+TEST(LintTreeGate, FixturesReallyAreExcluded) {
+  // The fixtures are deliberately broken; if the exclusion prefix rots,
+  // the gate above would drown in their findings. Prove the exclusion
+  // works by scanning them on purpose.
+  TreeOptions options;
+  options.root = VQOE_LINT_REPO_ROOT;
+  options.paths = {"tests/lint/fixtures"};
+  const TreeReport report = analyze_tree(options);
+  EXPECT_GT(report.files_scanned, 3u);
+}
+
+}  // namespace
+}  // namespace vqoe::lint

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -71,20 +72,18 @@ class LoopbackTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto train_options = workload::has_corpus_options(250, 171);
     train_options.keep_session_results = false;
-    pipeline_ = new QoePipeline{QoePipeline::train(
-        core::sessions_from_corpus(workload::generate_corpus(train_options)))};
+    pipeline_ = std::make_unique<QoePipeline>(QoePipeline::train(
+        core::sessions_from_corpus(workload::generate_corpus(train_options))));
 
     auto live_options = workload::encrypted_corpus_options(60, 1844);
     live_options.subscribers = 24;  // spread load over shards and probes
     live_options.keep_session_results = false;
-    live_ = new std::vector<trace::WeblogRecord>{
-        workload::generate_corpus(live_options).weblogs};
+    live_ = std::make_unique<std::vector<trace::WeblogRecord>>(
+        workload::generate_corpus(live_options).weblogs);
   }
   static void TearDownTestSuite() {
-    delete pipeline_;
-    pipeline_ = nullptr;
-    delete live_;
-    live_ = nullptr;
+    pipeline_.reset();
+    live_.reset();
   }
 
   static Outcome direct_outcome(const std::vector<trace::WeblogRecord>& records,
@@ -155,12 +154,12 @@ class LoopbackTest : public ::testing::Test {
     return out;
   }
 
-  static QoePipeline* pipeline_;
-  static std::vector<trace::WeblogRecord>* live_;
+  static std::unique_ptr<QoePipeline> pipeline_;
+  static std::unique_ptr<std::vector<trace::WeblogRecord>> live_;
 };
 
-QoePipeline* LoopbackTest::pipeline_ = nullptr;
-std::vector<trace::WeblogRecord>* LoopbackTest::live_ = nullptr;
+std::unique_ptr<QoePipeline> LoopbackTest::pipeline_;
+std::unique_ptr<std::vector<trace::WeblogRecord>> LoopbackTest::live_;
 
 TEST_F(LoopbackTest, PartitionForProbeIsDisjointOrderPreservingAndComplete) {
   const auto& records = *live_;

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <map>
 
+#include "tool_args.h"
 #include "vqoe/core/detectors.h"
 #include "vqoe/core/pipeline.h"
 #include "vqoe/trace/csv.h"
@@ -19,15 +20,8 @@
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* name) {
-  const std::size_t len = std::strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
+using vqoe::tool::arg_value;
+using vqoe::tool::parse_arg_or;
 
 }  // namespace
 
@@ -49,8 +43,8 @@ int main(int argc, char** argv) {
     const char* n_arg = arg_value(argc, argv, "--sessions");
     const char* seed_arg = arg_value(argc, argv, "--seed");
     const char* kind = arg_value(argc, argv, "--kind");
-    const std::size_t n = n_arg ? std::strtoull(n_arg, nullptr, 10) : 4000;
-    const std::uint64_t seed = seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 42;
+    const std::size_t n = parse_arg_or<std::size_t>("--sessions", n_arg, 4000);
+    const std::uint64_t seed = parse_arg_or<std::uint64_t>("--seed", seed_arg, 42);
     workload::CorpusOptions options = workload::cleartext_corpus_options(n, seed);
     if (kind && std::strcmp(kind, "has") == 0) {
       options = workload::has_corpus_options(n, seed);

@@ -1,0 +1,55 @@
+// Shared --flag=value parsing for the command-line tools.
+//
+// Every tool used to hand-roll arg_value() plus strto*() conversions with
+// no range or garbage detection (`--port=banana` parsed as 0). The helpers
+// here are built on std::from_chars: full-string match required, overflow
+// rejected, and a parse failure exits with a message naming the flag —
+// vqoe_lint's banned-api rule keeps the ato*/strto* family out of the
+// tree (DESIGN.md section 5f).
+#pragma once
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+namespace vqoe::tool {
+
+/// Returns the value of `--name=value` or nullptr when absent.
+inline const char* arg_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] inline void parse_fail(const char* flag, const char* value) {
+  std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, value);
+  std::exit(2);
+}
+
+/// Parses the whole of `value` as T (integer or floating point); exits
+/// with status 2 naming `flag` on garbage, trailing bytes, or overflow.
+template <typename T>
+T parse_arg(const char* flag, const char* value) {
+  T out{};
+  const char* end = value + std::strlen(value);
+  const auto [ptr, ec] = std::from_chars(value, end, out);
+  if (ec != std::errc{} || ptr != end) parse_fail(flag, value);
+  return out;
+}
+
+/// `parse_arg` for a flag that may be absent: returns `fallback` when
+/// `value` is nullptr.
+template <typename T>
+T parse_arg_or(const char* flag, const char* value, T fallback) {
+  return value ? parse_arg<T>(flag, value) : fallback;
+}
+
+}  // namespace vqoe::tool

@@ -7,8 +7,8 @@
 //   subscriber,start_s,chunks,stall,representation,switches,switch_score,mos
 // With --truth, also prints accuracy summaries to stderr.
 #include <cstdio>
-#include <cstring>
 
+#include "tool_args.h"
 #include "vqoe/core/model_io.h"
 #include "vqoe/core/mos.h"
 #include "vqoe/core/pipeline.h"
@@ -18,15 +18,7 @@
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* name) {
-  const std::size_t len = std::strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
+using vqoe::tool::arg_value;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,

@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "tool_args.h"
 #include "vqoe/core/model_io.h"
 #include "vqoe/core/pipeline.h"
 #include "vqoe/engine/engine.h"
@@ -27,15 +28,9 @@
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* name) {
-  const std::size_t len = std::strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
+using vqoe::tool::arg_value;
+using vqoe::tool::parse_arg;
+using vqoe::tool::parse_arg_or;
 
 [[noreturn]] void usage() {
   std::fprintf(
@@ -59,7 +54,7 @@ int main(int argc, char** argv) {
 
   const char* probes_arg = arg_value(argc, argv, "--probes");
   if (!probes_arg) usage();
-  const auto probes = std::strtoull(probes_arg, nullptr, 10);
+  const auto probes = parse_arg<std::size_t>("--probes", probes_arg);
   if (probes == 0) usage();
 
   // --- models: load from disk or train on a synthesized corpus ------------
@@ -70,11 +65,9 @@ int main(int argc, char** argv) {
       return core::load_pipeline(model_dir);
     }
     const char* train = arg_value(argc, argv, "--train");
-    const std::size_t sessions =
-        train ? std::strtoull(train, nullptr, 10) : 2000;
+    const std::size_t sessions = parse_arg_or<std::size_t>("--train", train, 2000);
     const char* seed_arg = arg_value(argc, argv, "--seed");
-    const std::uint64_t seed =
-        seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 42;
+    const std::uint64_t seed = parse_arg_or<std::uint64_t>("--seed", seed_arg, 42);
     std::printf("training on %zu synthesized sessions (seed %llu)...\n",
                 sessions, static_cast<unsigned long long>(seed));
     auto options = workload::cleartext_corpus_options(sessions, seed);
@@ -86,10 +79,11 @@ int main(int argc, char** argv) {
   // --- engine -------------------------------------------------------------
   engine::EngineConfig engine_config;
   if (const char* shards = arg_value(argc, argv, "--shards")) {
-    engine_config.shards = std::strtoull(shards, nullptr, 10);
+    engine_config.shards = parse_arg<std::size_t>("--shards", shards);
   }
   if (const char* min_chunks = arg_value(argc, argv, "--min-chunks")) {
-    engine_config.monitor.min_chunks = std::strtoull(min_chunks, nullptr, 10);
+    engine_config.monitor.min_chunks =
+        parse_arg<std::size_t>("--min-chunks", min_chunks);
   }
   engine::MonitorEngine engine{pipeline, engine_config};
 
@@ -97,12 +91,11 @@ int main(int argc, char** argv) {
   wire::CollectorConfig config;
   config.port = 9977;
   if (const char* port = arg_value(argc, argv, "--port")) {
-    config.port = static_cast<std::uint16_t>(std::strtoul(port, nullptr, 10));
+    config.port = parse_arg<std::uint16_t>("--port", port);
   }
   config.expected_probes = probes;
   if (const char* window = arg_value(argc, argv, "--ack-window")) {
-    config.ack_window =
-        static_cast<std::uint32_t>(std::strtoul(window, nullptr, 10));
+    config.ack_window = parse_arg<std::uint32_t>("--ack-window", window);
   }
   if (const char* key = arg_value(argc, argv, "--merge-key")) {
     if (std::strcmp(key, "timestamp") == 0) {

@@ -1,0 +1,121 @@
+// vqoe_lint — project-invariant static analysis over the source tree.
+//
+//   vqoe_lint --root=/path/to/repo                      # scan the default dirs
+//   vqoe_lint --root=. src/wire tools                   # scan a subset
+//   vqoe_lint --root=. --baseline=.vqoe-lint-baseline   # zero-NEW-findings gate
+//   vqoe_lint --root=. --write-baseline=.vqoe-lint-baseline
+//
+// Exit status: 0 when no findings outside the baseline, 1 otherwise, 2 on
+// usage errors. Rules, suppressions and the baseline format are described
+// in DESIGN.md section 5f and src/lint/include/vqoe/lint/lint.h.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vqoe/lint/lint.h"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vqoe_lint [--root=DIR] [--baseline=FILE] "
+      "[--write-baseline=FILE]\n"
+      "                 [--exclude=PREFIX]... [path...]\n"
+      "  --root=DIR        repository root (default: .)\n"
+      "  --baseline=FILE   ignore findings listed in FILE; report stale "
+      "entries\n"
+      "  --write-baseline=FILE  write current findings as the new baseline\n"
+      "  --exclude=PREFIX  skip files under this root-relative prefix\n"
+      "  path...           root-relative dirs/files to scan\n"
+      "                    (default: src bench tools examples tests,\n"
+      "                     excluding tests/lint/fixtures)\n");
+  std::exit(2);
+}
+
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vqoe::lint::TreeOptions options;
+  options.root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = flag_value(arg, "--root")) {
+      options.root = v;
+    } else if (const char* v = flag_value(arg, "--baseline")) {
+      baseline_path = v;
+    } else if (const char* v = flag_value(arg, "--write-baseline")) {
+      write_baseline_path = v;
+    } else if (const char* v = flag_value(arg, "--exclude")) {
+      options.excludes.emplace_back(v);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      usage();
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+  if (options.paths.empty()) {
+    options.paths = {"src", "bench", "tools", "examples", "tests"};
+    options.excludes.emplace_back("tests/lint/fixtures");
+  }
+
+  vqoe::lint::TreeReport report;
+  try {
+    report = vqoe::lint::analyze_tree(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::vector<vqoe::lint::Finding>& findings = report.findings;
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out{write_baseline_path};
+    if (!out) {
+      std::fprintf(stderr, "vqoe_lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << vqoe::lint::write_baseline(findings);
+    std::fprintf(stderr, "vqoe_lint: wrote %zu finding(s) to %s\n",
+                 findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::size_t stale = 0;
+  if (!baseline_path.empty()) {
+    stale = vqoe::lint::apply_baseline(
+        findings, vqoe::lint::load_baseline(baseline_path));
+  }
+
+  for (const auto& f : findings) {
+    std::printf("%s\n", vqoe::lint::format(f).c_str());
+  }
+  if (stale != 0) {
+    std::fprintf(stderr,
+                 "vqoe_lint: %zu stale baseline entr%s (fixed findings still "
+                 "listed); regenerate with --write-baseline\n",
+                 stale, stale == 1 ? "y" : "ies");
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "vqoe_lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), report.files_scanned);
+    return 1;
+  }
+  std::fprintf(stderr, "vqoe_lint: clean (%zu file(s) scanned)\n",
+               report.files_scanned);
+  return 0;
+}

@@ -14,9 +14,9 @@
 // subscriber partitions, so one capture can feed n concurrent probes.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "tool_args.h"
 #include "vqoe/trace/csv.h"
 #include "vqoe/trace/weblog.h"
 #include "vqoe/wire/spool.h"
@@ -25,15 +25,9 @@
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* name) {
-  const std::size_t len = std::strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
+using vqoe::tool::arg_value;
+using vqoe::tool::parse_arg;
+using vqoe::tool::parse_arg_or;
 
 [[noreturn]] void usage() {
   std::fprintf(
@@ -73,8 +67,8 @@ int main(int argc, char** argv) {
   } else if (const char* generate = arg_value(argc, argv, "--generate")) {
     const char* seed_arg = arg_value(argc, argv, "--seed");
     auto options = workload::cleartext_corpus_options(
-        std::strtoull(generate, nullptr, 10),
-        seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 99);
+        parse_arg<std::size_t>("--generate", generate),
+        parse_arg_or<std::uint64_t>("--seed", seed_arg, 99));
     options.adaptive_fraction = 1.0;
     options.subscribers = 40;
     options.keep_session_results = false;
@@ -97,12 +91,12 @@ int main(int argc, char** argv) {
   // --- stream it ----------------------------------------------------------
   wire::ProbeOptions options;
   if (const char* host = arg_value(argc, argv, "--host")) options.host = host;
-  options.port = static_cast<std::uint16_t>(std::strtoul(port, nullptr, 10));
+  options.port = parse_arg<std::uint16_t>("--port", port);
   if (const char* speed = arg_value(argc, argv, "--speed")) {
-    options.speed = std::strtod(speed, nullptr);
+    options.speed = parse_arg<double>("--speed", speed);
   }
   if (const char* batch = arg_value(argc, argv, "--batch")) {
-    options.batch_records = std::strtoull(batch, nullptr, 10);
+    options.batch_records = parse_arg<std::size_t>("--batch", batch);
   }
 
   wire::Probe probe{options};

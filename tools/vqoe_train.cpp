@@ -8,9 +8,9 @@
 // switch.model, loadable by vqoe_assess or core::load_pipeline().
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "tool_args.h"
 #include "vqoe/core/model_io.h"
 #include "vqoe/core/pipeline.h"
 #include "vqoe/par/parallel.h"
@@ -19,15 +19,9 @@
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* name) {
-  const std::size_t len = std::strlen(name);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return nullptr;
-}
+using vqoe::tool::arg_value;
+using vqoe::tool::parse_arg;
+using vqoe::tool::parse_arg_or;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
@@ -49,16 +43,16 @@ int main(int argc, char** argv) {
   if (!out) usage();
 
   if (const char* threads_arg = arg_value(argc, argv, "--threads")) {
-    par::set_threads(static_cast<int>(std::strtol(threads_arg, nullptr, 10)));
+    par::set_threads(parse_arg<int>("--threads", threads_arg));
   }
   std::printf("parallel runtime: %d thread(s)\n", par::max_threads());
 
   std::vector<core::SessionRecord> sessions;
   if (const char* generate = arg_value(argc, argv, "--generate")) {
     const char* seed_arg = arg_value(argc, argv, "--seed");
-    const std::uint64_t seed = seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 42;
+    const std::uint64_t seed = parse_arg_or<std::uint64_t>("--seed", seed_arg, 42);
     auto options = workload::cleartext_corpus_options(
-        std::strtoull(generate, nullptr, 10), seed);
+        parse_arg<std::size_t>("--generate", generate), seed);
     options.keep_session_results = false;
     std::printf("generating %s labelled sessions (seed %llu)...\n", generate,
                 static_cast<unsigned long long>(seed));
