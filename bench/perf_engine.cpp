@@ -89,6 +89,49 @@ BENCHMARK(BM_EngineThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
 
+/// Engine throughput with the live verdict stream on: every shard's
+/// monitor runs 10-second tumbling windows and a harvester thread drains
+/// verdicts concurrently — the full operator deployment shape. The
+/// windows/verdicts counters surface the ShardStats accounting so the JSON
+/// row records how much mid-session output the run produced.
+void BM_EngineThroughputWindowed(benchmark::State& state) {
+  const auto& records = live_records();
+  std::uint64_t windows = 0;
+  std::uint64_t verdicts = 0;
+  std::size_t harvested = 0;
+  for (auto _ : state) {
+    engine::EngineConfig config;
+    config.shards = static_cast<std::size_t>(state.range(0));
+    config.queue_capacity = 4096;
+    config.backpressure = engine::BackpressurePolicy::Block;
+    config.monitor.window.length_s = 10.0;
+    config.monitor.window.min_chunks = 2;
+    engine::MonitorEngine eng{trained_pipeline(), config};
+    std::size_t fed = 0;
+    for (const auto& record : records) {
+      eng.ingest(record);
+      if (++fed % 4096 == 0) harvested += eng.harvest_verdicts().size();
+    }
+    benchmark::DoNotOptimize(eng.drain().size());
+    harvested += eng.harvest_verdicts().size();
+    const auto stats = eng.stats();
+    windows += stats.windows_emitted;
+    verdicts += stats.verdicts_emitted;
+  }
+  benchmark::DoNotOptimize(harvested);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+  const double per_iter = 1.0 / static_cast<double>(state.iterations());
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["windows"] = static_cast<double>(windows) * per_iter;
+  state.counters["verdicts"] = static_cast<double>(verdicts) * per_iter;
+}
+BENCHMARK(BM_EngineThroughputWindowed)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()->Apply(vqoe::bench::perf_defaults);
+
 /// Raw ring transfer rate: how fast the ingest channel itself moves items
 /// (upper bound on per-shard routing throughput).
 void BM_SpscQueueTransfer(benchmark::State& state) {

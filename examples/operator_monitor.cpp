@@ -11,7 +11,9 @@
 //      incrementally (domain filter + page markers + idle gaps — no URIs,
 //      no session IDs) in parallel, and completed QoE reports are
 //      harvested while the stream is still flowing,
-//   4. prints a per-subscriber QoE dashboard plus the engine's shard
+//   4. turns on 10-second windowing, so every shard also emits live
+//      mid-session WindowVerdicts (harvested with harvest_verdicts()),
+//   5. prints a per-subscriber QoE dashboard plus the engine's shard
 //      statistics.
 //
 // Build & run:  ./build/examples/operator_monitor
@@ -67,6 +69,10 @@ int main() {
   engine::EngineConfig engine_config;
   engine_config.shards = 4;
   engine_config.monitor.min_chunks = 3;
+  // Mid-session visibility: a verdict every 10 stream-seconds per session
+  // (tumbling windows), scored on windows with at least 2 chunks.
+  engine_config.monitor.window.length_s = 10.0;
+  engine_config.monitor.window.min_chunks = 2;
   engine::MonitorEngine monitor{pipeline, engine_config};
 
   auto account = [&](const core::CompletedSession& s) {
@@ -82,6 +88,16 @@ int main() {
   // "report issues in real time" shape of Section 8.
   std::size_t fed = 0;
   std::size_t harvested_live = 0;
+  std::size_t verdicts_live = 0;
+  std::size_t verdicts_stalled = 0;
+  auto account_verdicts = [&] {
+    for (const auto& v : monitor.harvest_verdicts()) {
+      ++verdicts_live;
+      if (v.stall != static_cast<std::uint8_t>(core::StallLabel::no_stalls)) {
+        ++verdicts_stalled;
+      }
+    }
+  };
   for (const trace::WeblogRecord& record : encrypted) {
     monitor.ingest(record);
     if (++fed % 4096 == 0) {
@@ -89,9 +105,11 @@ int main() {
         account(done);
         ++harvested_live;
       }
+      account_verdicts();
     }
   }
   for (const auto& done : monitor.drain()) account(done);
+  account_verdicts();  // the tail flushed by drain()
 
   const engine::EngineStats engine_stats = monitor.stats();
   std::printf("  engine reported %llu sessions over %zu shards, %llu "
@@ -100,12 +118,19 @@ int main() {
               monitor.shard_count(),
               static_cast<unsigned long long>(harvested_live),
               live.truths.size());
+  std::printf("  live verdict stream: %llu windows closed, %llu verdicts "
+              "(%zu harvested mid-stream, %zu flagged stalling)\n",
+              static_cast<unsigned long long>(engine_stats.windows_emitted),
+              static_cast<unsigned long long>(engine_stats.verdicts_emitted),
+              verdicts_live, verdicts_stalled);
   for (std::size_t i = 0; i < engine_stats.shards.size(); ++i) {
     const auto& s = engine_stats.shards[i];
-    std::printf("    shard %zu: %llu records, %llu sessions, %.1f us/record "
-                "in monitor, queue peak %zu\n",
+    std::printf("    shard %zu: %llu records, %llu sessions, %llu windows, "
+                "%llu verdicts, %.1f us/record in monitor, queue peak %zu\n",
                 i, static_cast<unsigned long long>(s.records_out),
                 static_cast<unsigned long long>(s.sessions_reported),
+                static_cast<unsigned long long>(s.windows_emitted),
+                static_cast<unsigned long long>(s.verdicts_emitted),
                 s.records_out ? 1e-3 * static_cast<double>(s.ingest_ns) /
                                     static_cast<double>(s.records_out)
                               : 0.0,

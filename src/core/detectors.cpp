@@ -121,6 +121,16 @@ StallLabel StallDetector::classify(std::span<const ChunkObs> chunks,
   return static_cast<StallLabel>(forest_.predict(scratch.projected));
 }
 
+StallLabel StallDetector::classify(std::span<const ChunkObs> chunks,
+                                   DetectorScratch& scratch,
+                                   double& confidence) const {
+  const StallLabel label = classify(chunks, scratch);
+  scratch.proba.resize(forest_.num_classes());
+  forest_.predict_proba_into(scratch.projected, scratch.proba);
+  confidence = scratch.proba[static_cast<std::size_t>(label)];
+  return label;
+}
+
 StallLabel StallDetector::classify_features(std::span<const double> features) const {
   if (!trained()) throw std::logic_error{"StallDetector: not trained"};
   const auto projected = project_vector(features, selected_idx_);
@@ -162,6 +172,16 @@ ReprLabel RepresentationDetector::classify(std::span<const ChunkObs> chunks,
   representation_features_into(chunks, scratch.features);
   project_into(scratch.features, selected_idx_, scratch.projected);
   return static_cast<ReprLabel>(forest_.predict(scratch.projected));
+}
+
+ReprLabel RepresentationDetector::classify(std::span<const ChunkObs> chunks,
+                                           DetectorScratch& scratch,
+                                           double& confidence) const {
+  const ReprLabel label = classify(chunks, scratch);
+  scratch.proba.resize(forest_.num_classes());
+  forest_.predict_proba_into(scratch.projected, scratch.proba);
+  confidence = scratch.proba[static_cast<std::size_t>(label)];
+  return label;
 }
 
 ReprLabel RepresentationDetector::classify_features(

@@ -83,6 +83,15 @@ class StallDetector {
   [[nodiscard]] StallLabel classify(std::span<const ChunkObs> chunks,
                                     DetectorScratch& scratch) const;
 
+  /// classify() plus the forest's confidence in the returned label — the
+  /// share of trees voting for it. The label comes from the identical
+  /// predict() call the confidence-free overload makes (confidence is a
+  /// separate predict_proba pass over the same projection), so asking for
+  /// confidence can never change a verdict.
+  [[nodiscard]] StallLabel classify(std::span<const ChunkObs> chunks,
+                                    DetectorScratch& scratch,
+                                    double& confidence) const;
+
   /// Classifies a precomputed full (70-dim) stall feature vector.
   [[nodiscard]] StallLabel classify_features(std::span<const double> features) const;
 
@@ -117,6 +126,11 @@ class RepresentationDetector {
   /// classify() through caller-owned scratch buffers (no per-call heap).
   [[nodiscard]] ReprLabel classify(std::span<const ChunkObs> chunks,
                                    DetectorScratch& scratch) const;
+  /// classify() plus the forest's vote share behind the label (see the
+  /// StallDetector overload: the label path is unchanged).
+  [[nodiscard]] ReprLabel classify(std::span<const ChunkObs> chunks,
+                                   DetectorScratch& scratch,
+                                   double& confidence) const;
   [[nodiscard]] ReprLabel classify_features(std::span<const double> features) const;
 
   [[nodiscard]] const std::vector<std::string>& selected_features() const {

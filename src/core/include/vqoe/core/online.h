@@ -8,12 +8,29 @@
 // (YouTube-host filter, watch-page markers, idle gaps — Section 5.2), and a
 // QoeReport is emitted the moment a session closes.
 //
-// Equivalence with the batch path (session::reconstruct + QoePipeline::
-// assess) is a tested invariant.
+// With a window::WindowConfig the monitor additionally reports *mid-session*:
+// every time a window of the configured length closes (by a record or an
+// advance_to tick moving the stream clock past its end), the ingest path
+// only records the window's chunk span and accumulator summary — O(1), no
+// inference. take_verdicts() then scores each pending window through the
+// same QoePipeline::assess code path as session close, yielding a
+// window::WindowVerdict (labels + forest confidences + the accumulator's
+// summary) per window. Deferring the forest to harvest time keeps the
+// per-record ingest overhead to the accumulator updates (bench/perf_window
+// measures it), and in the sharded engine it puts scoring on the shard
+// workers' publish step rather than under ingest. A verdict's content
+// depends only on its chunk span and the pipeline, never on *when* the
+// harvest runs, so the stream stays deterministic. Because the scoring
+// path is shared with session close, a full-session window (length
+// covering the whole session) reproduces the session-close QoeReport
+// bit-identically — a tested invariant, like the equivalence with the
+// batch path (session::reconstruct + QoePipeline::assess).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,6 +38,7 @@
 
 #include "vqoe/core/pipeline.h"
 #include "vqoe/session/reconstruct.h"
+#include "vqoe/window/window.h"
 
 namespace vqoe::core {
 
@@ -29,6 +47,10 @@ struct OnlineMonitorConfig {
   /// Sessions with fewer media chunks than this are discarded unreported
   /// (page visits without playback, probe traffic).
   std::size_t min_chunks = 1;
+  /// Mid-session windowing. Disabled by default (length_s == 0): the
+  /// monitor then reports on session close only, the pre-window behaviour,
+  /// and the ingest hot path carries no windowing cost beyond one branch.
+  window::WindowConfig window;
 };
 
 /// A finished session with its assessed QoE.
@@ -60,30 +82,96 @@ class OnlineMonitor {
 
   /// Feeds one record. Records must arrive in non-decreasing timestamp
   /// order per subscriber. Returns the sessions this record closed
-  /// (usually none or one).
+  /// (usually none or one). With windowing enabled the record's timestamp
+  /// first closes (and scores) any due windows of its own subscriber's
+  /// session — a record exactly at a window end closes that window and
+  /// lands in the next one (the pinned half-open boundary rule).
   std::vector<CompletedSession> ingest(const trace::WeblogRecord& record);
 
-  /// Advances the clock without traffic, closing sessions whose subscriber
-  /// has been idle past the gap.
+  /// Advances the clock without traffic: closes due windows of *every*
+  /// open session, then closes sessions whose subscriber has been idle
+  /// past the gap. A tick exactly at a window end closes the window; a
+  /// tick exactly at last_activity + idle_gap does *not* close the session
+  /// (the gap rule is strictly greater, matching the batch reconstructor).
   std::vector<CompletedSession> advance_to(double now_s);
 
   /// End of stream: closes and reports every open session.
   std::vector<CompletedSession> flush();
 
+  /// Scores every window closed since the last call and returns the
+  /// verdicts (per session in close order). This is where the forest runs:
+  /// the ingest path only queues closed windows, so harvest cadence — not
+  /// record rate — sets the inference cost. Cheap no-op when windowing is
+  /// disabled or nothing closed.
+  [[nodiscard]] std::vector<window::WindowVerdict> take_verdicts();
+
   [[nodiscard]] std::size_t open_sessions() const { return open_.size(); }
   [[nodiscard]] std::size_t sessions_reported() const { return reported_; }
   [[nodiscard]] std::size_t sessions_discarded() const { return discarded_; }
+  /// Chunk-bearing windows closed so far (empty windows are never
+  /// materialized and never counted).
+  [[nodiscard]] std::size_t windows_closed() const { return windows_closed_; }
+  /// Closed windows that met window.min_chunks and were scored into a
+  /// WindowVerdict (counted when take_verdicts() scores them).
+  [[nodiscard]] std::size_t verdicts_emitted() const {
+    return verdicts_emitted_;
+  }
 
  private:
+  /// A closed, gate-passing window awaiting forest scoring. The ingest hot
+  /// path only records the chunk span and the accumulator summary here;
+  /// take_verdicts() runs the detectors over the span.
+  struct PendingWindow {
+    std::uint64_t index = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    bool final_window = false;
+    std::uint32_t begin_chunk = 0;  ///< span [begin, end) into the chunk log
+    std::uint32_t end_chunk = 0;
+    double window_cusum = 0.0;
+    double mean_goodput_kbps = 0.0;
+  };
+  /// The pending windows of one session that closed before a harvest ran.
+  /// Detaching *moves* the session's chunk log and pending list here —
+  /// O(1) per dying session, nothing per window or per chunk — and the
+  /// span indices keep their meaning against the moved log.
+  struct DetachedWindows {
+    std::string subscriber_id;
+    std::vector<ChunkObs> chunks;
+    std::vector<PendingWindow> windows;
+  };
+
   struct OpenSession {
     double start_time_s = 0.0;
     double last_activity_s = 0.0;
     bool saw_media = false;
     std::vector<ChunkObs> chunks;
+    window::SessionWindows windows;
+    /// Windows closed but not yet harvested. Span indices stay valid while
+    /// the session lives (the chunk log only grows); close() detaches them.
+    std::vector<PendingWindow> pending;
+    /// Tumbling windows partition the chunk log, so the span of each
+    /// closed window starts where the previous one ended — this cursor
+    /// makes span recovery O(1). Sliding/gapped schedules fall back to
+    /// binary search.
+    std::uint32_t span_cursor = 0;
   };
 
   /// Closes one subscriber's open session, emitting it when large enough.
   void close(std::string_view subscriber, std::vector<CompletedSession>& out);
+
+  /// Closes this session's windows due at now_s, enqueueing the
+  /// gate-passing ones as pending verdicts.
+  void close_windows_due(OpenSession& session, double now_s);
+  /// Converts closed_scratch_ into PendingWindow entries and clears it.
+  void enqueue_closed_windows(OpenSession& session);
+  /// Moves a closing session's pending windows and chunk log into
+  /// detached_ in one step. The caller must be done with session.chunks
+  /// (it is left moved-from when anything was pending).
+  void detach_pending(std::string_view subscriber, OpenSession& session);
+  /// Runs the detectors over one pending window's span into verdicts_.
+  void score_pending(std::string_view subscriber, const PendingWindow& w,
+                     std::span<const ChunkObs> chunk_log);
 
   const QoePipeline& pipeline_;
   OnlineMonitorConfig config_;
@@ -94,8 +182,16 @@ class OnlineMonitor {
   std::unordered_map<std::string, OpenSession, TransparentStringHash,
                      std::equal_to<>>
       open_;
+  /// Reused buffer for SessionWindows::close_due / close_all output.
+  std::vector<window::ClosedWindow> closed_scratch_;
+  /// Pending windows that outlived their sessions, scored at next harvest.
+  std::vector<DetachedWindows> detached_;
+  /// Verdicts scored by the current take_verdicts() call.
+  std::vector<window::WindowVerdict> verdicts_;
   std::size_t reported_ = 0;
   std::size_t discarded_ = 0;
+  std::size_t windows_closed_ = 0;
+  std::size_t verdicts_emitted_ = 0;
 };
 
 }  // namespace vqoe::core

@@ -86,6 +86,20 @@ class QoePipeline {
   [[nodiscard]] QoeReport assess(std::span<const ChunkObs> chunks,
                                  DetectorScratch& scratch) const;
 
+  /// assess() plus the forest confidences behind the two labels — the
+  /// scoring path of the live window-verdict stream. The embedded report
+  /// is produced by the same predict() calls assess() makes (confidence is
+  /// an extra predict_proba pass), so a windowed verdict over a span is
+  /// bit-identical to assess() over that span — the invariant behind the
+  /// full-session-window equivalence tests.
+  struct ScoredReport {
+    QoeReport report;
+    double stall_confidence = 0.0;
+    double repr_confidence = 0.0;  ///< 0 when the detector is untrained
+  };
+  [[nodiscard]] ScoredReport assess_scored(std::span<const ChunkObs> chunks,
+                                           DetectorScratch& scratch) const;
+
   [[nodiscard]] const StallDetector& stall_detector() const { return stall_; }
   [[nodiscard]] const RepresentationDetector& representation_detector() const {
     return repr_;

@@ -1,6 +1,7 @@
 #include "vqoe/core/online.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace vqoe::core {
 
@@ -8,22 +9,139 @@ OnlineMonitor::OnlineMonitor(const QoePipeline& pipeline,
                              OnlineMonitorConfig config)
     : pipeline_(pipeline), config_(config) {}
 
+void OnlineMonitor::enqueue_closed_windows(OpenSession& session) {
+  // The chunks of a closed window: request times in [start, end). Chunks
+  // are appended in non-decreasing request-time order, so the span is
+  // contiguous — and it is final: the window only closed because the
+  // stream clock reached its end, so every future chunk's request time is
+  // >= end. A final (session-close) window is truncated at the session end
+  // and simply runs to the end of the chunk log.
+  //
+  // Tumbling windows (the default) partition the log, so each window's
+  // span starts at the cursor where the previous one ended and holds
+  // exactly the chunks its accumulator counted — O(1), no search. Gated
+  // windows still advance the cursor: their chunks are consumed either
+  // way. Sliding (hop < length) and gapped (hop > length) schedules break
+  // the partition and recover spans by binary search instead.
+  const bool tumbling = config_.window.hop() == config_.window.length_s;
+  const auto log_size = static_cast<std::uint32_t>(session.chunks.size());
+  for (const window::ClosedWindow& closed : closed_scratch_) {
+    ++windows_closed_;
+    std::uint32_t begin_chunk = 0;
+    std::uint32_t end_chunk = 0;
+    if (tumbling) {
+      begin_chunk = session.span_cursor;
+      end_chunk =
+          closed.final_window
+              ? log_size
+              : begin_chunk + static_cast<std::uint32_t>(closed.acc.chunks());
+      session.span_cursor = end_chunk;
+      if (closed.acc.chunks() < config_.window.min_chunks) continue;
+    } else {
+      if (closed.acc.chunks() < config_.window.min_chunks) continue;
+      const auto by_request = [](const ChunkObs& c, double t) {
+        return c.request_time_s < t;
+      };
+      const auto begin = std::lower_bound(session.chunks.begin(),
+                                          session.chunks.end(), closed.start_s,
+                                          by_request);
+      const auto end =
+          closed.final_window
+              ? session.chunks.end()
+              : std::lower_bound(begin, session.chunks.end(), closed.end_s,
+                                 by_request);
+      begin_chunk = static_cast<std::uint32_t>(begin - session.chunks.begin());
+      end_chunk = static_cast<std::uint32_t>(end - session.chunks.begin());
+    }
+    if (begin_chunk >= end_chunk) continue;  // defensive: empty span
+
+    PendingWindow pending;
+    pending.index = closed.index;
+    pending.start_s = closed.start_s;
+    pending.end_s = closed.end_s;
+    pending.final_window = closed.final_window;
+    pending.begin_chunk = begin_chunk;
+    pending.end_chunk = end_chunk;
+    pending.window_cusum = closed.acc.cusum_std();
+    pending.mean_goodput_kbps = closed.acc.mean_goodput_kbps();
+    session.pending.push_back(pending);
+  }
+  closed_scratch_.clear();
+}
+
+void OnlineMonitor::close_windows_due(OpenSession& session, double now_s) {
+  if (!session.windows.enabled() || session.windows.in_flight() == 0) return;
+  session.windows.close_due(now_s, closed_scratch_);
+  if (!closed_scratch_.empty()) enqueue_closed_windows(session);
+}
+
+void OnlineMonitor::detach_pending(std::string_view subscriber,
+                                   OpenSession& session) {
+  if (session.pending.empty()) return;
+  detached_.push_back({std::string(subscriber), std::move(session.chunks),
+                       std::move(session.pending)});
+}
+
+void OnlineMonitor::score_pending(std::string_view subscriber,
+                                  const PendingWindow& w,
+                                  std::span<const ChunkObs> chunk_log) {
+  const auto span = chunk_log.subspan(w.begin_chunk,
+                                      w.end_chunk - w.begin_chunk);
+  const QoePipeline::ScoredReport scored =
+      pipeline_.assess_scored(span, scratch_);
+
+  window::WindowVerdict verdict;
+  verdict.subscriber_id = std::string(subscriber);
+  verdict.window_index = w.index;
+  verdict.start_s = w.start_s;
+  verdict.end_s = w.end_s;
+  verdict.chunk_count = static_cast<std::uint32_t>(span.size());
+  verdict.final_window = w.final_window;
+  verdict.stall = static_cast<std::uint8_t>(scored.report.stall);
+  verdict.representation =
+      static_cast<std::uint8_t>(scored.report.representation);
+  verdict.quality_switches = scored.report.quality_switches;
+  verdict.switch_score = scored.report.switch_score;
+  verdict.stall_confidence = scored.stall_confidence;
+  verdict.repr_confidence = scored.repr_confidence;
+  verdict.window_cusum = w.window_cusum;
+  verdict.mean_goodput_kbps = w.mean_goodput_kbps;
+  verdicts_.push_back(std::move(verdict));
+  ++verdicts_emitted_;
+}
+
 void OnlineMonitor::close(std::string_view subscriber,
                           std::vector<CompletedSession>& out) {
   const auto it = open_.find(subscriber);
   if (it == open_.end()) return;
   auto node = open_.extract(it);
-  const OpenSession& session = node.mapped();
+  OpenSession& session = node.mapped();
   if (session.chunks.size() < config_.min_chunks || !session.saw_media) {
     ++discarded_;
+    // Windows the session already closed still emit at the next harvest (a
+    // live stream can't retract them — and whether the harvest ran before
+    // or after this discard must not change the verdict stream); only the
+    // would-be final windows vanish with the discarded session.
+    detach_pending(node.key(), session);
     return;
   }
+  // Windows whose nominal end precedes the session end close as regular
+  // windows; the rest are emitted truncated (final_window) so the tail of
+  // the session is covered.
+  if (session.windows.enabled()) {
+    close_windows_due(session, session.last_activity_s);
+    session.windows.close_all(session.last_activity_s, closed_scratch_);
+    if (!closed_scratch_.empty()) enqueue_closed_windows(session);
+  }
   CompletedSession done;
-  done.subscriber_id = std::move(node.key());
   done.start_time_s = session.start_time_s;
   done.end_time_s = session.last_activity_s;
   done.chunk_count = session.chunks.size();
   done.report = pipeline_.assess(session.chunks, scratch_);
+  // Only after the session-close assessment: detaching moves the chunk log
+  // out of the session for the still-pending windows to alias.
+  detach_pending(node.key(), session);
+  done.subscriber_id = std::move(node.key());
   ++reported_;
   out.push_back(std::move(done));
 }
@@ -56,10 +174,15 @@ std::vector<CompletedSession> OnlineMonitor::ingest(
   if (it == open_.end()) {
     OpenSession fresh;
     fresh.start_time_s = record.timestamp_s;
+    fresh.windows.start(config_.window, record.timestamp_s);
     it = open_.emplace(record.subscriber_id, std::move(fresh)).first;
   }
 
   OpenSession& session = it->second;
+  // Windows due at this record's time close *before* the record is added:
+  // a record exactly at a window end closes that window and belongs to the
+  // next one (half-open [start, end) windows).
+  close_windows_due(session, record.timestamp_s);
   session.last_activity_s =
       std::max(session.last_activity_s, record.arrival_time_s());
   if (media) {
@@ -70,6 +193,8 @@ std::vector<CompletedSession> OnlineMonitor::ingest(
     chunk.size_bytes = static_cast<double>(record.object_size_bytes);
     chunk.transport = record.transport;
     session.chunks.push_back(chunk);
+    session.windows.add(chunk.request_time_s, chunk.arrival_time_s,
+                        chunk.size_bytes, chunk.transport);
   }
   return completed;
 }
@@ -77,7 +202,8 @@ std::vector<CompletedSession> OnlineMonitor::ingest(
 std::vector<CompletedSession> OnlineMonitor::advance_to(double now_s) {
   std::vector<CompletedSession> completed;
   std::vector<std::string> expired;
-  for (const auto& [subscriber, session] : open_) {
+  for (auto& [subscriber, session] : open_) {
+    close_windows_due(session, now_s);
     if (now_s - session.last_activity_s > config_.reconstruction.idle_gap_s) {
       expired.push_back(subscriber);
     }
@@ -93,6 +219,24 @@ std::vector<CompletedSession> OnlineMonitor::flush() {
   for (const auto& [subscriber, session] : open_) all.push_back(subscriber);
   for (const std::string& subscriber : all) close(subscriber, completed);
   return completed;
+}
+
+std::vector<window::WindowVerdict> OnlineMonitor::take_verdicts() {
+  for (const DetachedWindows& detached : detached_) {
+    for (const PendingWindow& pending : detached.windows) {
+      score_pending(detached.subscriber_id, pending, detached.chunks);
+    }
+  }
+  detached_.clear();
+  if (config_.window.enabled()) {
+    for (auto& [subscriber, session] : open_) {
+      for (const PendingWindow& pending : session.pending) {
+        score_pending(subscriber, pending, session.chunks);
+      }
+      session.pending.clear();
+    }
+  }
+  return std::exchange(verdicts_, {});
 }
 
 }  // namespace vqoe::core

@@ -106,6 +106,20 @@ QoeReport QoePipeline::assess(std::span<const ChunkObs> chunks,
   return report;
 }
 
+QoePipeline::ScoredReport QoePipeline::assess_scored(
+    std::span<const ChunkObs> chunks, DetectorScratch& scratch) const {
+  ScoredReport scored;
+  scored.report.stall = stall_.classify(chunks, scratch, scored.stall_confidence);
+  if (repr_.trained()) {
+    scored.report.representation =
+        repr_.classify(chunks, scratch, scored.repr_confidence);
+  }
+  scored.report.switch_score = switch_.score(chunks);
+  scored.report.quality_switches =
+      scored.report.switch_score > switch_.config().threshold;
+  return scored;
+}
+
 ml::ConfusionMatrix evaluate_stall(const StallDetector& detector,
                                    std::span<const SessionRecord> sessions) {
   ml::ConfusionMatrix cm{stall_class_names()};

@@ -108,15 +108,23 @@ void MonitorEngine::advance_to(double now_s) {
 
 void MonitorEngine::publish(Shard& shard,
                             std::vector<core::CompletedSession>&& done) {
-  if (!done.empty()) {
+  auto verdicts = shard.monitor.take_verdicts();
+  if (!done.empty() || !verdicts.empty()) {
     const std::lock_guard<std::mutex> lock(shard.out_mutex);
     shard.out.insert(shard.out.end(), std::make_move_iterator(done.begin()),
                      std::make_move_iterator(done.end()));
+    shard.out_verdicts.insert(shard.out_verdicts.end(),
+                              std::make_move_iterator(verdicts.begin()),
+                              std::make_move_iterator(verdicts.end()));
   }
   shard.sessions_reported.store(shard.monitor.sessions_reported(),
                                 std::memory_order_relaxed);
   shard.sessions_discarded.store(shard.monitor.sessions_discarded(),
                                  std::memory_order_relaxed);
+  shard.windows_emitted.store(shard.monitor.windows_closed(),
+                              std::memory_order_relaxed);
+  shard.verdicts_emitted.store(shard.monitor.verdicts_emitted(),
+                               std::memory_order_relaxed);
 }
 
 void MonitorEngine::worker_loop(Shard& shard) {
@@ -164,6 +172,17 @@ std::vector<core::CompletedSession> MonitorEngine::harvest() {
   return all;
 }
 
+std::vector<window::WindowVerdict> MonitorEngine::harvest_verdicts() {
+  std::vector<window::WindowVerdict> all;
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->out_mutex);
+    all.insert(all.end(), std::make_move_iterator(shard->out_verdicts.begin()),
+               std::make_move_iterator(shard->out_verdicts.end()));
+    shard->out_verdicts.clear();
+  }
+  return all;
+}
+
 void MonitorEngine::stop_workers() {
   if (stopped_) return;
   stopped_ = true;
@@ -194,6 +213,9 @@ EngineStats MonitorEngine::stats() const {
         shard->sessions_reported.load(std::memory_order_relaxed);
     s.sessions_discarded =
         shard->sessions_discarded.load(std::memory_order_relaxed);
+    s.windows_emitted = shard->windows_emitted.load(std::memory_order_relaxed);
+    s.verdicts_emitted =
+        shard->verdicts_emitted.load(std::memory_order_relaxed);
     s.ingest_ns = shard->ingest_ns.load(std::memory_order_relaxed);
     s.queue_depth = shard->queue.size();
     s.queue_peak = shard->queue_peak.load(std::memory_order_relaxed);
@@ -202,6 +224,8 @@ EngineStats MonitorEngine::stats() const {
     total.dropped += s.dropped;
     total.sessions_reported += s.sessions_reported;
     total.sessions_discarded += s.sessions_discarded;
+    total.windows_emitted += s.windows_emitted;
+    total.verdicts_emitted += s.verdicts_emitted;
     total.shards.push_back(s);
   }
   return total;

@@ -12,8 +12,10 @@
 //     monitor requires is preserved by construction;
 //   * each shard owns a bounded SPSC ring (spsc_queue.h) fed by the ingest
 //     thread and drained by a dedicated worker into the shard's
-//     OnlineMonitor; completed sessions accumulate in a per-shard output
-//     buffer the caller harvests at its own pace;
+//     OnlineMonitor; completed sessions — and, with windowing enabled
+//     (config.monitor.window), the live mid-session WindowVerdict stream —
+//     accumulate in per-shard output buffers the caller harvests at its own
+//     pace (harvest() / harvest_verdicts());
 //   * a watermark clock rides the ingest stream: because the feed is
 //     globally time-sorted, the last ingested timestamp lower-bounds every
 //     future record, and broadcasting it as advance_to() ticks lets idle
@@ -67,6 +69,8 @@ struct ShardStats {
   std::uint64_t dropped = 0;          ///< shed under DropNewest
   std::uint64_t sessions_reported = 0;
   std::uint64_t sessions_discarded = 0;
+  std::uint64_t windows_emitted = 0;   ///< chunk-bearing windows closed
+  std::uint64_t verdicts_emitted = 0;  ///< windows scored into a WindowVerdict
   std::uint64_t ingest_ns = 0;        ///< worker time spent inside the monitor
   std::size_t queue_depth = 0;        ///< approximate current occupancy
   /// High-watermark occupancy observed by the ingest thread: how close the
@@ -82,6 +86,8 @@ struct EngineStats {
   std::uint64_t dropped = 0;
   std::uint64_t sessions_reported = 0;
   std::uint64_t sessions_discarded = 0;
+  std::uint64_t windows_emitted = 0;
+  std::uint64_t verdicts_emitted = 0;
   std::vector<ShardStats> shards;
 };
 
@@ -131,6 +137,12 @@ class MonitorEngine {
   /// Takes every session completed so far. Non-blocking; call at any pace.
   [[nodiscard]] std::vector<core::CompletedSession> harvest();
 
+  /// Takes every window verdict emitted so far — the live mid-session
+  /// stream when config.monitor.window is enabled (always empty otherwise).
+  /// Non-blocking, any thread, any pace; per-subscriber verdict order is
+  /// preserved (a subscriber lives on exactly one shard).
+  [[nodiscard]] std::vector<window::WindowVerdict> harvest_verdicts();
+
   /// End of stream: drains all queues, flushes every shard's open
   /// sessions, joins the workers, and returns the remaining completed
   /// sessions (everything not already harvested). The engine accepts no
@@ -160,12 +172,15 @@ class MonitorEngine {
 
     std::mutex out_mutex;
     std::vector<core::CompletedSession> out;
+    std::vector<window::WindowVerdict> out_verdicts;
 
     std::atomic<std::uint64_t> records_in{0};
     std::atomic<std::uint64_t> records_out{0};
     std::atomic<std::uint64_t> dropped{0};
     std::atomic<std::uint64_t> sessions_reported{0};
     std::atomic<std::uint64_t> sessions_discarded{0};
+    std::atomic<std::uint64_t> windows_emitted{0};
+    std::atomic<std::uint64_t> verdicts_emitted{0};
     std::atomic<std::uint64_t> ingest_ns{0};
     std::atomic<std::size_t> queue_peak{0};  ///< written by the ingest thread
 

@@ -31,7 +31,8 @@ bool is_header(sv path) {
 
 bool in_determinism_scope(sv path) {
   return starts_with_any(path, {"src/par/", "src/ml/", "src/workload/",
-                                "src/sim/", "src/ts/", "src/core/"});
+                                "src/sim/", "src/ts/", "src/core/",
+                                "src/window/"});
 }
 
 bool in_syscall_scope(sv path) { return path.starts_with("src/wire/"); }

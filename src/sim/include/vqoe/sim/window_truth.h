@@ -1,0 +1,61 @@
+// Windowed ground truth from a simulated session — the labels behind the
+// mid-session (vqoe::window) evaluation.
+//
+// The paper labels QoE per session; the windowed monitors report per
+// window. To evaluate them, the simulator's ground truth must be sliced
+// the same way the monitor slices the traffic: per window, what fraction
+// of the wall clock was spent stalled (eq. 1 restricted to the window) and
+// which representation was actually playing.
+//
+// Windows are half-open [i*hop, i*hop + length) intervals of the
+// session-relative clock (anchor 0 = first request — the same anchor
+// window::SessionWindows uses when the monitor sees the session's first
+// record), emitted for every index whose start lies inside the session
+// and truncated at the session end — matching the monitor's final_window
+// rule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vqoe/sim/player.h"
+
+namespace vqoe::sim {
+
+/// Ground truth of one window of a session.
+struct WindowTruth {
+  std::uint64_t index = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;        ///< truncated at the session end when final
+  bool final_window = false; ///< end_s was clipped to the session duration
+
+  /// Stall seconds overlapping [start_s, end_s).
+  double stall_s = 0.0;
+  /// stall_s / (end_s - start_s): the window's rebuffering ratio.
+  double rebuffering_ratio = 0.0;
+
+  /// Video chunks whose request time falls in [start_s, end_s).
+  std::size_t chunk_count = 0;
+  /// Representation changes between consecutive video chunks requested
+  /// inside the window.
+  std::size_t switch_count = 0;
+  /// Time-weighted mean height of the representation *playing* during the
+  /// window: each video chunk's rung is active from its request until the
+  /// next video chunk's request (the last until the session end). 0 when
+  /// nothing was active (window before the first video request).
+  double average_height = 0.0;
+  /// The rung active for the longest span of the window — the "current
+  /// representation" label. Meaningless when active_s == 0.
+  Resolution representation = Resolution::p144;
+  /// Seconds of the window during which some rung was active.
+  double active_s = 0.0;
+};
+
+/// Slices `session` into windowed ground truth. `hop_s <= 0` means tumbling
+/// (hop = length). Returns an empty vector for `length_s <= 0` or a
+/// zero-duration session.
+[[nodiscard]] std::vector<WindowTruth> windowed_truth(
+    const SessionResult& session, double length_s, double hop_s = 0.0);
+
+}  // namespace vqoe::sim

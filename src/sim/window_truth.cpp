@@ -1,0 +1,96 @@
+#include "vqoe/sim/window_truth.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace vqoe::sim {
+
+namespace {
+
+/// Length of the overlap of [a0, a1) and [b0, b1).
+double overlap(double a0, double a1, double b0, double b1) {
+  const double lo = std::max(a0, b0);
+  const double hi = std::min(a1, b1);
+  return hi > lo ? hi - lo : 0.0;
+}
+
+}  // namespace
+
+std::vector<WindowTruth> windowed_truth(const SessionResult& session,
+                                        double length_s, double hop_s) {
+  std::vector<WindowTruth> out;
+  if (length_s <= 0.0 || session.total_duration_s <= 0.0) return out;
+  const double hop = hop_s > 0.0 ? hop_s : length_s;
+  const double session_end = session.total_duration_s;
+
+  // The representation step function: video chunk k's rung is active from
+  // its request until the next video request (the last until session end).
+  const auto video = session.video_chunks();
+  struct ActiveSpan {
+    double start_s, end_s;
+    Resolution rung;
+  };
+  std::vector<ActiveSpan> spans;
+  spans.reserve(video.size());
+  for (std::size_t k = 0; k < video.size(); ++k) {
+    const double start = video[k]->request_time_s;
+    const double end =
+        k + 1 < video.size() ? video[k + 1]->request_time_s : session_end;
+    if (end > start) spans.push_back({start, end, video[k]->resolution});
+  }
+
+  for (std::uint64_t i = 0;; ++i) {
+    const double start = static_cast<double>(i) * hop;
+    if (start >= session_end) break;
+    WindowTruth w;
+    w.index = i;
+    w.start_s = start;
+    w.end_s = start + length_s;
+    if (w.end_s >= session_end) {
+      w.end_s = session_end;
+      w.final_window = true;
+    }
+    const double span = w.end_s - w.start_s;
+    if (span <= 0.0) continue;
+
+    for (const StallEvent& stall : session.stalls) {
+      w.stall_s += overlap(stall.start_s, stall.start_s + stall.duration_s,
+                           w.start_s, w.end_s);
+    }
+    w.rebuffering_ratio = std::min(1.0, w.stall_s / span);
+
+    // Chunk membership mirrors the monitor: request time in [start, end).
+    Resolution prev = Resolution::p144;
+    bool has_prev = false;
+    for (const ChunkEvent* c : video) {
+      if (c->request_time_s < w.start_s || c->request_time_s >= w.end_s) {
+        continue;
+      }
+      ++w.chunk_count;
+      if (has_prev && c->resolution != prev) ++w.switch_count;
+      prev = c->resolution;
+      has_prev = true;
+    }
+
+    std::array<double, 6> rung_s{};  // seconds per Resolution value
+    double weighted = 0.0;
+    for (const ActiveSpan& s : spans) {
+      const double t = overlap(s.start_s, s.end_s, w.start_s, w.end_s);
+      if (t <= 0.0) continue;
+      w.active_s += t;
+      weighted += static_cast<double>(height(s.rung)) * t;
+      rung_s[static_cast<std::size_t>(s.rung)] += t;
+    }
+    if (w.active_s > 0.0) {
+      w.average_height = weighted / w.active_s;
+      const auto best = std::max_element(rung_s.begin(), rung_s.end());
+      w.representation =
+          static_cast<Resolution>(best - rung_s.begin());
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace vqoe::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "vqoe/ts/summary.h"
@@ -25,6 +26,20 @@ double cusum_std(std::span<const double> series) {
   if (series.size() < 2) return 0.0;
   const auto chart = cusum_chart(series);
   return std_dev(chart);
+}
+
+double CusumStd::value() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double mu = prefix_ / n;
+  const double sum_t = n * (n + 1.0) / 2.0;
+  const double sum_t2 = n * (n + 1.0) * (2.0 * n + 1.0) / 6.0;
+  const double sum_s = sum_p_ - mu * sum_t;
+  const double sum_s2 = sum_p2_ - 2.0 * mu * sum_tp_ + mu * mu * sum_t2;
+  const double mean_s = sum_s / n;
+  // Cancellation in the sum-of-squares form can dip fractionally below 0.
+  const double var = sum_s2 / n - mean_s * mean_s;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
 PageCusum::PageCusum(double mu, double drift, double threshold)

@@ -33,6 +33,48 @@ namespace vqoe::ts {
 /// for series shorter than 2 points.
 [[nodiscard]] double cusum_std(std::span<const double> series);
 
+/// Incremental cusum_std(): the same statistic, updatable in O(1) per
+/// observation without buffering the series (the windowed live path,
+/// vqoe::window, keeps one per in-flight window).
+///
+/// Derivation: with prefix sums P_t = Σ_{i<=t} x_i and the sample mean
+/// μ = P_n / n, the chart is S_t = P_t - tμ, so
+///   Σ S_t  = Σ P_t - μ Σ t
+///   Σ S_t² = Σ P_t² - 2μ Σ tP_t + μ² Σ t²
+/// where Σt = n(n+1)/2 and Σt² = n(n+1)(2n+1)/6 are closed-form. Keeping
+/// (n, P, ΣP, ΣP², ΣtP) is therefore enough to evaluate the population
+/// variance of the chart at any point. Numerically this is a textbook
+/// sum-of-squares formula, not Welford: it agrees with cusum_std() to
+/// floating-point rounding, not bit-exactly — callers needing bit-identity
+/// with the batch statistic (the session-close verdict path) must score
+/// through cusum_std() on the buffered series instead.
+class CusumStd {
+ public:
+  /// Feeds one observation.
+  void add(double x) {
+    ++n_;
+    prefix_ += x;
+    sum_p_ += prefix_;
+    sum_p2_ += prefix_ * prefix_;
+    sum_tp_ += static_cast<double>(n_) * prefix_;
+  }
+
+  /// The statistic over everything added so far; 0 for fewer than 2 points
+  /// (matching cusum_std()).
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+  void reset() { *this = CusumStd{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double prefix_ = 0.0;  ///< P_n, the running sum of the series
+  double sum_p_ = 0.0;   ///< Σ P_t
+  double sum_p2_ = 0.0;  ///< Σ P_t²
+  double sum_tp_ = 0.0;  ///< Σ t·P_t  (t is 1-based)
+};
+
 /// Two-sided Page CUSUM test. Maintains the usual recursions
 ///   G+_t = max(0, G+_{t-1} + x_t - mu - drift)
 ///   G-_t = max(0, G-_{t-1} - x_t + mu - drift)

@@ -1,0 +1,96 @@
+// Verdict stream framing — the durable form of the live window verdicts.
+//
+// The collector tees harvested WindowVerdicts into a wire spool so a
+// monitoring site keeps a replayable log of what it alerted on, exactly
+// like the record spool keeps the raw capture. Framing reuses the spool
+// machinery wholesale (segments, CRC32C frames, torn-tail recovery,
+// version gating); only the payload differs, and the segment header's
+// flags byte tags it as kSpoolPayloadWindowVerdicts so a verdict spool can
+// never be misread as a record spool or vice versa.
+//
+// Frame payload (little-endian, varints as in wire/codec.h):
+//   varint count
+//   count x verdict:
+//     varint subscriber_len, subscriber bytes
+//     varint window_index
+//     f64    start_s, end_s            (IEEE-754 bits, LE)
+//     varint chunk_count
+//     u8     flags                     (bit0 final_window, bit1 switches)
+//     u8     stall, u8 representation  (core label enum values)
+//     f64    switch_score, stall_confidence, repr_confidence,
+//            window_cusum, mean_goodput_kbps
+//
+// decode_verdicts() validates every bound and raises wire::WireError with
+// the offending offset, same contract as the record codec.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "vqoe/window/window.h"
+#include "vqoe/wire/spool.h"
+
+namespace vqoe::window {
+
+/// Serializes a batch of verdicts (appended to `out`).
+void encode_verdicts(std::span<const WindowVerdict> verdicts,
+                     std::vector<std::uint8_t>& out);
+
+/// Parses one encoded batch. Throws wire::WireError on any malformed or
+/// truncated input.
+[[nodiscard]] std::vector<WindowVerdict> decode_verdicts(
+    const std::uint8_t* data, std::size_t size);
+
+/// Append-only verdict log on the wire spool (one frame per append()).
+class VerdictSpoolWriter {
+ public:
+  /// `options.flags` is forced to kSpoolPayloadWindowVerdicts.
+  explicit VerdictSpoolWriter(std::filesystem::path dir,
+                              wire::SpoolWriterOptions options = {});
+
+  void append(std::span<const WindowVerdict> verdicts);
+
+  void sync() { spool_.sync(); }
+  void close() { spool_.close(); }
+
+  [[nodiscard]] std::uint64_t verdicts_written() const { return verdicts_; }
+  [[nodiscard]] std::uint64_t frames_written() const {
+    return spool_.frames_written();
+  }
+  [[nodiscard]] std::size_t segments() const { return spool_.segments(); }
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return spool_.directory();
+  }
+
+ private:
+  wire::SpoolWriter spool_;
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t verdicts_ = 0;
+};
+
+/// Streaming reader over a verdict spool, with the record spool's
+/// torn-tail / hard-corruption contract.
+class VerdictSpoolReader {
+ public:
+  explicit VerdictSpoolReader(const std::filesystem::path& path)
+      : frames_(path, wire::kSpoolPayloadWindowVerdicts) {}
+
+  /// Produces the next verdict; false at the clean end of the spool.
+  bool next(WindowVerdict& out);
+
+  [[nodiscard]] std::vector<WindowVerdict> read_all();
+
+  [[nodiscard]] bool torn_tail() const { return frames_.torn_tail(); }
+  [[nodiscard]] std::uint64_t verdicts_read() const { return verdicts_; }
+
+ private:
+  wire::SpoolFrameReader frames_;
+  std::vector<std::uint8_t> payload_;
+  std::vector<WindowVerdict> batch_;
+  std::size_t batch_pos_ = 0;
+  std::uint64_t verdicts_ = 0;
+};
+
+}  // namespace vqoe::window

@@ -1,0 +1,185 @@
+// Mid-session windowed inference state — vqoe::window.
+//
+// The paper classifies QoE per *session*; an operator reacting to stalls
+// needs a verdict while the session is still running (the 10-second-window
+// deployments of Bronzino/Schmitt et al. and the real-time representation
+// classification of Dubin et al.). This module provides the per-session
+// windowing machinery the streaming monitors build on:
+//
+//  * WindowConfig        — window length and hop in stream seconds. Hop <
+//    length gives overlapping (sliding) windows, hop == length tumbling
+//    ones; windows are half-open [start, start+length) intervals anchored
+//    at the session's first record.
+//  * WindowAccumulator   — incremental per-window feature state: the
+//    Table-1 transport metrics under running min/mean/max/std
+//    (ts::OnlineStats), inter-arrival statistics, byte/chunk counts and a
+//    windowed CUSUM-std of Δsize × Δt (ts::CusumStd). Every add() is O(1);
+//    nothing is buffered.
+//  * SessionWindows      — the window *schedule* of one open session: which
+//    windows are in flight, which chunks land in which window, and which
+//    windows a given stream time closes. Per ingested chunk the work is
+//    O(ceil(length/hop)) — the number of overlapping windows a chunk can
+//    belong to, a constant for a fixed configuration (exactly 1 for
+//    tumbling windows).
+//  * WindowVerdict       — one entry of the live verdict stream: subscriber,
+//    window bounds, the stall/representation verdicts with forest
+//    confidences, the switch statistic, and the accumulator's summary.
+//
+// Boundary semantics are pinned (and regression-tested): a chunk whose
+// request time lands exactly on a window end belongs to the *next* window
+// (half-open intervals), and a clock tick exactly at a window end *closes*
+// that window (close condition is end <= now). So a chunk and a tick at
+// the same instant order deterministically: the tick closes the old
+// window, the chunk opens the new one.
+//
+// This layer is deliberately below vqoe::core: it knows transport stats and
+// doubles, not detectors or labels. core::OnlineMonitor owns the scoring
+// (DESIGN.md section 5g).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "vqoe/net/tcp.h"
+#include "vqoe/ts/cusum.h"
+#include "vqoe/ts/online.h"
+
+namespace vqoe::window {
+
+struct WindowConfig {
+  /// Window length in stream seconds; <= 0 disables windowing entirely
+  /// (the monitors then classify on session close only, the pre-window
+  /// behaviour).
+  double length_s = 0.0;
+  /// Hop between window starts; <= 0 means tumbling (hop = length).
+  double hop_s = 0.0;
+  /// Windows with fewer media chunks than this close without a verdict
+  /// (their state still rolls the windows_closed counter).
+  std::size_t min_chunks = 1;
+
+  [[nodiscard]] bool enabled() const { return length_s > 0.0; }
+  [[nodiscard]] double hop() const { return hop_s > 0.0 ? hop_s : length_s; }
+};
+
+/// Names of the windowed feature vector WindowAccumulator::features_into
+/// emits, in order: 11 metrics (the 10 Table-1 metrics with chunk
+/// inter-arrival plus goodput) x min/mean/max/std, then chunk_count,
+/// bytes_kb and the windowed CUSUM-std. Same "metric:stat" naming scheme
+/// as the session feature sets.
+[[nodiscard]] const std::vector<std::string>& window_feature_names();
+
+/// O(1)-per-chunk feature state of one window. Units match the session
+/// feature sets (core/features.cpp): sizes in KB, times in seconds, RTT in
+/// ms, loss/retransmissions in percent — the CUSUM signal is therefore
+/// KB·s, the unit of the paper's fixed switch threshold.
+class WindowAccumulator {
+ public:
+  /// Folds one media chunk in. Chunks must arrive in non-decreasing
+  /// request-time order (the monitors' ingest invariant).
+  void add(double request_time_s, double arrival_time_s, double size_bytes,
+           const net::TransportStats& transport);
+
+  [[nodiscard]] std::size_t chunks() const { return size_kb_.count(); }
+  [[nodiscard]] double bytes_kb() const { return bytes_kb_; }
+  [[nodiscard]] double mean_goodput_kbps() const { return goodput_.mean(); }
+  /// Windowed STD(CUSUM(Δsize × Δt)) over the chunks of this window only.
+  [[nodiscard]] double cusum_std() const { return cusum_.value(); }
+
+  /// Writes the window_feature_names() vector (resized to fit).
+  void features_into(std::vector<double>& out) const;
+
+ private:
+  ts::OnlineStats rtt_min_, rtt_avg_, rtt_max_;
+  ts::OnlineStats bdp_kb_, bif_avg_kb_, bif_max_kb_;
+  ts::OnlineStats loss_, retrans_;
+  ts::OnlineStats size_kb_, dt_, goodput_;
+  ts::CusumStd cusum_;  ///< over Δsize × Δt of consecutive chunks
+  double bytes_kb_ = 0.0;
+  double prev_arrival_s_ = 0.0;
+  double prev_size_kb_ = 0.0;
+  bool has_prev_ = false;
+};
+
+/// One window a SessionWindows instance closed.
+struct ClosedWindow {
+  std::uint64_t index = 0;  ///< 0-based position in the window schedule
+  double start_s = 0.0;     ///< nominal window start (anchor + index * hop)
+  double end_s = 0.0;       ///< nominal end, or the session end when final
+  /// Closed by session close rather than by the stream clock: the window
+  /// was truncated, end_s is the session's last activity.
+  bool final_window = false;
+  WindowAccumulator acc;
+};
+
+/// The window schedule of one open session. Only windows that received at
+/// least one chunk are materialized (and therefore reported): an idle
+/// subscriber does not generate empty-window verdicts.
+class SessionWindows {
+ public:
+  /// Arms the schedule. `session_start_s` anchors window 0 (the session's
+  /// first record, media or not). A non-enabled config leaves the schedule
+  /// inert: every method is a cheap no-op.
+  void start(const WindowConfig& config, double session_start_s);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled(); }
+
+  /// Closes every in-flight window whose end is <= now_s (oldest first),
+  /// appending them to `out`. Callers invoke this *before* add() with the
+  /// same timestamp so the boundary semantics above hold.
+  void close_due(double now_s, std::vector<ClosedWindow>& out);
+
+  /// Folds one media chunk into every window containing its request time,
+  /// materializing windows as needed.
+  void add(double request_time_s, double arrival_time_s, double size_bytes,
+           const net::TransportStats& transport);
+
+  /// Session close: emits every remaining in-flight window as final,
+  /// truncated at `session_end_s`. The schedule is empty afterwards.
+  void close_all(double session_end_s, std::vector<ClosedWindow>& out);
+
+  [[nodiscard]] std::size_t in_flight() const { return open_.size(); }
+
+  [[nodiscard]] double window_start(std::uint64_t index) const {
+    return anchor_ + static_cast<double>(index) * config_.hop();
+  }
+  [[nodiscard]] double window_end(std::uint64_t index) const {
+    return window_start(index) + config_.length_s;
+  }
+
+ private:
+  struct InFlight {
+    std::uint64_t index = 0;
+    WindowAccumulator acc;
+  };
+
+  WindowConfig config_;
+  double anchor_ = 0.0;
+  std::deque<InFlight> open_;  ///< ascending index, each with >= 1 chunk
+};
+
+/// One entry of the live verdict stream: what a shard's monitor emits every
+/// time a window with enough chunks closes. Labels are the core enums
+/// stored as raw ints (core::StallLabel / core::ReprLabel) so this layer
+/// stays below vqoe::core.
+struct WindowVerdict {
+  std::string subscriber_id;
+  std::uint64_t window_index = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint32_t chunk_count = 0;
+  bool final_window = false;
+
+  std::uint8_t stall = 0;           ///< core::StallLabel
+  std::uint8_t representation = 0;  ///< core::ReprLabel (0 when untrained)
+  bool quality_switches = false;
+  double switch_score = 0.0;       ///< session-path CUSUM-std over the span
+  double stall_confidence = 0.0;   ///< forest vote share behind `stall`
+  double repr_confidence = 0.0;    ///< 0 when the detector is untrained
+  double window_cusum = 0.0;       ///< the O(1) accumulator's CUSUM-std
+  double mean_goodput_kbps = 0.0;  ///< accumulator summary
+};
+
+}  // namespace vqoe::window

@@ -1,0 +1,156 @@
+#include "vqoe/window/window.h"
+
+#include <cmath>
+
+namespace vqoe::window {
+
+namespace {
+
+constexpr double kBytesPerKB = 1000.0;  // matches core/features.cpp
+
+void append_stats(const ts::OnlineStats& s, std::vector<double>& out) {
+  out.push_back(s.min());
+  out.push_back(s.mean());
+  out.push_back(s.max());
+  out.push_back(s.std_dev());
+}
+
+}  // namespace
+
+const std::vector<std::string>& window_feature_names() {
+  static const std::vector<std::string> names = [] {
+    const std::vector<std::string> metrics = {
+        "rtt_min", "rtt_avg", "rtt_max",    "bdp",      "bif_avg", "bif_max",
+        "loss",    "retrans", "chunk_size", "chunk_dt", "goodput"};
+    const std::vector<std::string> stats = {"min", "mean", "max", "std"};
+    std::vector<std::string> out;
+    out.reserve(metrics.size() * stats.size() + 3);
+    for (const auto& metric : metrics) {
+      for (const auto& stat : stats) out.push_back(metric + ":" + stat);
+    }
+    out.push_back("chunk_count");
+    out.push_back("bytes_kb");
+    out.push_back("cusum_dsize_dt");
+    return out;
+  }();
+  return names;
+}
+
+void WindowAccumulator::add(double request_time_s, double arrival_time_s,
+                            double size_bytes,
+                            const net::TransportStats& transport) {
+  const double size_kb = size_bytes / kBytesPerKB;
+  rtt_min_.add(transport.rtt_min_ms);
+  rtt_avg_.add(transport.rtt_avg_ms);
+  rtt_max_.add(transport.rtt_max_ms);
+  bdp_kb_.add(transport.bdp_bytes / kBytesPerKB);
+  bif_avg_kb_.add(transport.bif_avg_bytes / kBytesPerKB);
+  bif_max_kb_.add(transport.bif_max_bytes / kBytesPerKB);
+  loss_.add(transport.loss_pct);
+  retrans_.add(transport.retrans_pct);
+  size_kb_.add(size_kb);
+  const double duration = arrival_time_s - request_time_s;
+  goodput_.add(duration > 0.0 ? size_bytes * 8.0 / duration / 1000.0 : 0.0);
+  bytes_kb_ += size_kb;
+  if (has_prev_) {
+    const double dt = arrival_time_s - prev_arrival_s_;
+    dt_.add(dt);
+    cusum_.add((size_kb - prev_size_kb_) * dt);
+  }
+  prev_arrival_s_ = arrival_time_s;
+  prev_size_kb_ = size_kb;
+  has_prev_ = true;
+}
+
+void WindowAccumulator::features_into(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(window_feature_names().size());
+  append_stats(rtt_min_, out);
+  append_stats(rtt_avg_, out);
+  append_stats(rtt_max_, out);
+  append_stats(bdp_kb_, out);
+  append_stats(bif_avg_kb_, out);
+  append_stats(bif_max_kb_, out);
+  append_stats(loss_, out);
+  append_stats(retrans_, out);
+  append_stats(size_kb_, out);
+  append_stats(dt_, out);
+  append_stats(goodput_, out);
+  out.push_back(static_cast<double>(chunks()));
+  out.push_back(bytes_kb_);
+  out.push_back(cusum_.value());
+}
+
+void SessionWindows::start(const WindowConfig& config,
+                           double session_start_s) {
+  config_ = config;
+  anchor_ = session_start_s;
+  open_.clear();
+}
+
+void SessionWindows::close_due(double now_s, std::vector<ClosedWindow>& out) {
+  if (!enabled()) return;
+  // Close condition is end <= now: a tick exactly at a window end closes
+  // it (the pinned boundary semantics — see the header comment).
+  while (!open_.empty() && window_end(open_.front().index) <= now_s) {
+    InFlight& w = open_.front();
+    ClosedWindow closed;
+    closed.index = w.index;
+    closed.start_s = window_start(w.index);
+    closed.end_s = window_end(w.index);
+    closed.final_window = false;
+    closed.acc = std::move(w.acc);
+    out.push_back(std::move(closed));
+    open_.pop_front();
+  }
+}
+
+void SessionWindows::add(double request_time_s, double arrival_time_s,
+                         double size_bytes,
+                         const net::TransportStats& transport) {
+  if (!enabled()) return;
+  const double hop = config_.hop();
+  // The windows containing request time t are the indices i with
+  // start(i) <= t < end(i), i.e. (t - anchor - length)/hop < i <=
+  // (t - anchor)/hop. A chunk exactly at a window end is excluded from
+  // that window (strict <) and included in the next — half-open
+  // [start, end) intervals, the pinned boundary rule.
+  const double rel = request_time_s - anchor_;
+  double lo = std::floor((rel - config_.length_s) / hop) + 1.0;
+  if (lo < 0.0) lo = 0.0;
+  const double hi = std::floor(rel / hop);
+  if (hi < lo) return;  // before the first window (cannot happen in-order)
+  const auto i_lo = static_cast<std::uint64_t>(lo);
+  const auto i_hi = static_cast<std::uint64_t>(hi);
+  // Materialize the missing tail of [i_lo, i_hi]. In-order ingestion plus
+  // close_due(t) before add(t) guarantee every open window's index is
+  // already >= i_lo and <= previous i_hi, so the open set stays a
+  // contiguous ascending run.
+  std::uint64_t next = open_.empty() ? i_lo : open_.back().index + 1;
+  if (next < i_lo) next = i_lo;
+  for (std::uint64_t i = next; i <= i_hi; ++i) {
+    open_.push_back(InFlight{i, WindowAccumulator{}});
+  }
+  for (InFlight& w : open_) {
+    if (w.index >= i_lo) {
+      w.acc.add(request_time_s, arrival_time_s, size_bytes, transport);
+    }
+  }
+}
+
+void SessionWindows::close_all(double session_end_s,
+                               std::vector<ClosedWindow>& out) {
+  if (!enabled()) return;
+  for (InFlight& w : open_) {
+    ClosedWindow closed;
+    closed.index = w.index;
+    closed.start_s = window_start(w.index);
+    closed.end_s = session_end_s;
+    closed.final_window = true;
+    closed.acc = std::move(w.acc);
+    out.push_back(std::move(closed));
+  }
+  open_.clear();
+}
+
+}  // namespace vqoe::window

@@ -17,8 +17,16 @@
 //     segment and byte offset rather than silently skipping.
 //
 // Segment layout (all little-endian):
-//   header   "VQOS" magic, u8 version, u8 flags(0), u16 reserved
-//   frame*   u32 payload_len, u32 crc32c(payload), payload = record batch
+//   header   "VQOS" magic, u8 version, u8 flags(payload tag), u16 reserved
+//   frame*   u32 payload_len, u32 crc32c(payload), payload
+//
+// The header's flags byte tags what the frame payloads decode as:
+// kSpoolPayloadRecords (0, weblog record batches — every spool written
+// before the tag existed) or kSpoolPayloadWindowVerdicts (1, the live
+// verdict stream of vqoe::window). Readers check the tag so a spool of one
+// payload type cannot be silently misread as another. The framing layer
+// itself is payload-agnostic: SpoolWriter::append_frame / SpoolFrameReader
+// move raw payloads, and the record- and verdict-level APIs sit on top.
 //
 // A zero-byte final segment (crash between create and header write) reads
 // as empty. A segment whose header advertises a version outside this
@@ -39,6 +47,10 @@ namespace vqoe::wire {
 inline constexpr std::uint32_t kSpoolMagic = 0x534F5156u;  // "VQOS" LE
 inline constexpr std::size_t kSpoolHeaderBytes = 8;
 
+/// Payload tags carried in the segment header's flags byte.
+inline constexpr std::uint8_t kSpoolPayloadRecords = 0;
+inline constexpr std::uint8_t kSpoolPayloadWindowVerdicts = 1;
+
 struct SpoolWriterOptions {
   /// Rotate to a new segment once the current one reaches this size.
   std::uint64_t segment_bytes = 64ull << 20;
@@ -46,6 +58,9 @@ struct SpoolWriterOptions {
   /// close). 0 defers durability entirely to rotation/close.
   std::size_t sync_every_frames = 64;
   std::uint8_t version = kWireVersionMax;
+  /// Payload tag written into every segment header (see above). Readers
+  /// reject segments whose tag does not match what they decode.
+  std::uint8_t flags = kSpoolPayloadRecords;
 };
 
 /// Append-only writer. One frame per append() call; not thread-safe (one
@@ -67,6 +82,13 @@ class SpoolWriter {
     append(records.data(), records.size());
   }
 
+  /// Appends one frame with an arbitrary pre-encoded payload (the
+  /// record-batch append() is built on the same framing). The payload is
+  /// length-prefixed and CRC'd like any other frame; the record counter
+  /// does not move. Payload-typed writers (window::VerdictSpoolWriter)
+  /// use this with a matching `flags` tag.
+  void append_frame(const std::uint8_t* payload, std::size_t size);
+
   /// Forces the current segment to disk (write + fsync).
   void sync();
 
@@ -83,6 +105,7 @@ class SpoolWriter {
  private:
   void open_segment();
   void rotate_if_needed();
+  void write_frame_scratch();  ///< frames scratch_ (header space reserved)
 
   std::filesystem::path dir_;
   SpoolWriterOptions options_;
@@ -96,8 +119,58 @@ class SpoolWriter {
   std::vector<std::uint8_t> scratch_;
 };
 
-/// Streaming reader over a spool directory (segments in rotation order) or
-/// a single segment file.
+/// Streaming frame-level reader over a spool directory (segments in
+/// rotation order) or a single segment file: validates magic, version,
+/// payload tag and CRC, and applies the torn-tail-vs-hard-corruption
+/// distinction above. Payload decoding is the caller's job (SpoolReader
+/// for record batches, window::VerdictSpoolReader for verdicts).
+class SpoolFrameReader {
+ public:
+  /// Throws std::runtime_error when the path does not exist or holds no
+  /// segments. `expected_flags` is the payload tag the caller decodes;
+  /// a segment with a different tag raises WireError (payload mismatch).
+  explicit SpoolFrameReader(const std::filesystem::path& path,
+                            std::uint8_t expected_flags = kSpoolPayloadRecords);
+
+  /// Produces the next frame payload. Returns false at the clean end of
+  /// the spool (including after a torn tail). Throws WireError on mid-file
+  /// corruption, CRC mismatch, version skew, or a payload-tag mismatch.
+  bool next_frame(std::vector<std::uint8_t>& payload);
+
+  /// True once the reader stopped at an incomplete final frame.
+  [[nodiscard]] bool torn_tail() const { return torn_tail_; }
+  [[nodiscard]] std::uint64_t frames_read() const { return frames_; }
+  [[nodiscard]] std::size_t segments_read() const { return segment_; }
+  /// Version byte of the segment the last frame came from.
+  [[nodiscard]] std::uint8_t segment_version() const { return segment_version_; }
+
+  /// Path of the segment being consumed and the in-segment byte offset of
+  /// the last returned frame's payload — for callers attributing decode
+  /// errors to a durable location.
+  [[nodiscard]] const std::filesystem::path& current_segment() const;
+  [[nodiscard]] std::uint64_t frame_payload_offset() const {
+    return frame_payload_offset_;
+  }
+
+  /// Raises the standard corruption error for the current segment.
+  [[noreturn]] void corrupt(const std::string& what, std::uint64_t offset) const;
+
+ private:
+  bool open_next_segment();
+
+  std::vector<std::filesystem::path> segments_;
+  std::size_t segment_ = 0;  ///< segments fully or partially consumed
+  std::uint8_t expected_flags_ = kSpoolPayloadRecords;
+  std::ifstream in_;
+  std::uint64_t segment_offset_ = 0;
+  std::uint64_t frame_payload_offset_ = 0;
+  std::uint8_t segment_version_ = 0;
+  bool torn_tail_ = false;
+  bool done_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+/// Streaming record reader: SpoolFrameReader plus record-batch decoding.
 class SpoolReader {
  public:
   /// Throws std::runtime_error when the path does not exist or holds no
@@ -113,25 +186,16 @@ class SpoolReader {
   [[nodiscard]] std::vector<trace::WeblogRecord> read_all();
 
   /// True once the reader stopped at an incomplete final frame.
-  [[nodiscard]] bool torn_tail() const { return torn_tail_; }
-  [[nodiscard]] std::uint64_t frames_read() const { return frames_; }
+  [[nodiscard]] bool torn_tail() const { return frames_.torn_tail(); }
+  [[nodiscard]] std::uint64_t frames_read() const { return frames_.frames_read(); }
   [[nodiscard]] std::uint64_t records_read() const { return records_; }
-  [[nodiscard]] std::size_t segments_read() const { return segment_; }
+  [[nodiscard]] std::size_t segments_read() const { return frames_.segments_read(); }
 
  private:
-  bool open_next_segment();
   bool fill_batch();
-  [[noreturn]] void corrupt(const std::string& what, std::uint64_t offset);
 
-  std::vector<std::filesystem::path> segments_;
-  std::size_t segment_ = 0;  ///< segments fully or partially consumed
-  std::ifstream in_;
-  std::uint64_t segment_offset_ = 0;
-  std::uint8_t segment_version_ = 0;
+  SpoolFrameReader frames_;
   std::deque<trace::WeblogRecord> batch_;
-  bool torn_tail_ = false;
-  bool done_ = false;
-  std::uint64_t frames_ = 0;
   std::uint64_t records_ = 0;
   std::vector<std::uint8_t> payload_;
 };

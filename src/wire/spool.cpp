@@ -94,6 +94,7 @@ void SpoolWriter::open_segment() {
   std::uint8_t header[kSpoolHeaderBytes] = {};
   put_u32(kSpoolMagic, header);
   header[4] = options_.version;
+  header[5] = options_.flags;
   write_all(fd_, header, sizeof header, path);
   segment_bytes_ = sizeof header;
   bytes_ += sizeof header;
@@ -108,17 +109,10 @@ void SpoolWriter::rotate_if_needed() {
   open_segment();
 }
 
-void SpoolWriter::append(const trace::WeblogRecord* records,
-                         std::size_t count) {
-  if (count == 0) return;
-  if (fd_ < 0) throw std::runtime_error{"spool writer is closed"};
-  rotate_if_needed();
-
-  // One frame, one write(2): a crash mid-append leaves at most a torn
-  // tail, never an interleaved or reordered frame.
-  scratch_.clear();
-  scratch_.resize(kFrameHeaderBytes);
-  encode_batch(records, count, options_.version, scratch_);
+// Frames whatever sits in scratch_ past the reserved header bytes. One
+// frame, one write(2): a crash mid-append leaves at most a torn tail,
+// never an interleaved or reordered frame.
+void SpoolWriter::write_frame_scratch() {
   const std::size_t payload = scratch_.size() - kFrameHeaderBytes;
   if (payload > kMaxFramePayloadBytes) {
     throw WireError{"frame payload exceeds wire bound", 0};
@@ -131,11 +125,34 @@ void SpoolWriter::append(const trace::WeblogRecord* records,
   segment_bytes_ += scratch_.size();
   bytes_ += scratch_.size();
   ++frames_;
-  records_ += count;
   if (options_.sync_every_frames != 0 &&
       ++frames_since_sync_ >= options_.sync_every_frames) {
     sync();
   }
+}
+
+void SpoolWriter::append(const trace::WeblogRecord* records,
+                         std::size_t count) {
+  if (count == 0) return;
+  if (fd_ < 0) throw std::runtime_error{"spool writer is closed"};
+  rotate_if_needed();
+
+  scratch_.clear();
+  scratch_.resize(kFrameHeaderBytes);
+  encode_batch(records, count, options_.version, scratch_);
+  write_frame_scratch();
+  records_ += count;
+}
+
+void SpoolWriter::append_frame(const std::uint8_t* payload, std::size_t size) {
+  if (size == 0) return;
+  if (fd_ < 0) throw std::runtime_error{"spool writer is closed"};
+  rotate_if_needed();
+
+  scratch_.clear();
+  scratch_.resize(kFrameHeaderBytes);
+  scratch_.insert(scratch_.end(), payload, payload + size);
+  write_frame_scratch();
 }
 
 void SpoolWriter::sync() {
@@ -152,9 +169,11 @@ void SpoolWriter::close() {
   if (::close(fd) != 0) throw_errno("cannot close spool segment", dir_);
 }
 
-// --- SpoolReader ----------------------------------------------------------
+// --- SpoolFrameReader -------------------------------------------------------
 
-SpoolReader::SpoolReader(const std::filesystem::path& path) {
+SpoolFrameReader::SpoolFrameReader(const std::filesystem::path& path,
+                                   std::uint8_t expected_flags)
+    : expected_flags_(expected_flags) {
   if (std::filesystem::is_directory(path)) {
     for (const auto& entry : std::filesystem::directory_iterator{path}) {
       if (!entry.is_regular_file()) continue;
@@ -174,13 +193,17 @@ SpoolReader::SpoolReader(const std::filesystem::path& path) {
   }
 }
 
-void SpoolReader::corrupt(const std::string& what, std::uint64_t offset) {
-  const auto& path = segments_[segment_ == 0 ? 0 : segment_ - 1];
-  throw WireError{what + " in " + path.string(),
+const std::filesystem::path& SpoolFrameReader::current_segment() const {
+  return segments_[segment_ == 0 ? 0 : segment_ - 1];
+}
+
+void SpoolFrameReader::corrupt(const std::string& what,
+                               std::uint64_t offset) const {
+  throw WireError{what + " in " + current_segment().string(),
                   static_cast<std::size_t>(offset)};
 }
 
-bool SpoolReader::open_next_segment() {
+bool SpoolFrameReader::open_next_segment() {
   while (segment_ < segments_.size()) {
     const auto& path = segments_[segment_];
     const bool final_segment = segment_ + 1 == segments_.size();
@@ -215,6 +238,12 @@ bool SpoolReader::open_next_segment() {
                   std::to_string(kWireVersionMax),
               4);
     }
+    if (header[5] != expected_flags_) {
+      corrupt("spool payload mismatch: segment is tagged " +
+                  std::to_string(header[5]) + ", this reader decodes " +
+                  std::to_string(expected_flags_),
+              5);
+    }
     segment_version_ = header[4];
     segment_offset_ = sizeof header;
     return true;
@@ -222,8 +251,8 @@ bool SpoolReader::open_next_segment() {
   return false;
 }
 
-bool SpoolReader::fill_batch() {
-  while (batch_.empty()) {
+bool SpoolFrameReader::next_frame(std::vector<std::uint8_t>& payload) {
+  for (;;) {
     if (done_) return false;
     if (!in_.is_open()) {
       if (!open_next_segment()) {
@@ -256,8 +285,8 @@ bool SpoolReader::fill_batch() {
       corrupt("frame length out of bounds", segment_offset_);
     }
 
-    payload_.resize(payload_len);
-    in_.read(reinterpret_cast<char*>(payload_.data()), payload_len);
+    payload.resize(payload_len);
+    in_.read(reinterpret_cast<char*>(payload.data()), payload_len);
     const auto payload_got = static_cast<std::size_t>(in_.gcount());
     if (payload_got < payload_len) {
       if (!final_segment) {
@@ -269,19 +298,33 @@ bool SpoolReader::fill_batch() {
       return false;
     }
 
-    if (crc32c(payload_.data(), payload_len) != expected_crc) {
+    if (crc32c(payload.data(), payload_len) != expected_crc) {
       corrupt("frame CRC mismatch", segment_offset_);
     }
 
-    std::vector<trace::WeblogRecord> records;
-    try {
-      records = decode_batch(payload_.data(), payload_len, segment_version_);
-    } catch (const WireError& e) {
-      corrupt(std::string{"undecodable frame payload: "} + e.what(),
-              segment_offset_ + kFrameHeaderBytes + e.offset());
-    }
+    frame_payload_offset_ = segment_offset_ + kFrameHeaderBytes;
     segment_offset_ += kFrameHeaderBytes + payload_len;
     ++frames_;
+    return true;
+  }
+}
+
+// --- SpoolReader ----------------------------------------------------------
+
+SpoolReader::SpoolReader(const std::filesystem::path& path)
+    : frames_(path, kSpoolPayloadRecords) {}
+
+bool SpoolReader::fill_batch() {
+  while (batch_.empty()) {
+    if (!frames_.next_frame(payload_)) return false;
+    std::vector<trace::WeblogRecord> records;
+    try {
+      records = decode_batch(payload_.data(), payload_.size(),
+                             frames_.segment_version());
+    } catch (const WireError& e) {
+      frames_.corrupt(std::string{"undecodable frame payload: "} + e.what(),
+                      frames_.frame_payload_offset() + e.offset());
+    }
     records_ += records.size();
     for (auto& r : records) batch_.push_back(std::move(r));
   }

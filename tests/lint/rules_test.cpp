@@ -37,7 +37,8 @@ TEST(LintRules, DeterminismFiresOnlyInBatchModules) {
   const std::string source = "int f() { return std::rand(); }\n";
   for (const char* scoped : {"src/par/x.cpp", "src/ml/x.cpp",
                              "src/workload/x.cpp", "src/sim/x.cpp",
-                             "src/ts/x.cpp", "src/core/x.cpp"}) {
+                             "src/ts/x.cpp", "src/core/x.cpp",
+                             "src/window/x.cpp"}) {
     const auto fs = run(scoped, source);
     ASSERT_EQ(fs.size(), 1u) << scoped;
     EXPECT_EQ(fs[0].rule, "determinism") << scoped;

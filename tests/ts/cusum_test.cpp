@@ -71,6 +71,33 @@ TEST_P(CusumShift, MonotoneInShiftMagnitude) {
 INSTANTIATE_TEST_SUITE_P(Amplitudes, CusumShift,
                          ::testing::Values(2.0, 4.0, 8.0, 16.0, 32.0));
 
+// The O(1) incremental form (vqoe::window's per-window CUSUM) agrees with
+// the batch statistic to floating-point rounding at every prefix length.
+TEST(CusumStdIncremental, TracksBatchAtEveryPrefix) {
+  std::mt19937_64 rng{29};
+  std::normal_distribution<double> noise(0.0, 50.0);
+  std::vector<double> series;
+  CusumStd inc;
+  for (int i = 0; i < 300; ++i) {
+    const double x = noise(rng) + (i >= 150 ? 200.0 : 0.0);
+    series.push_back(x);
+    inc.add(x);
+    const double batch = cusum_std(series);
+    EXPECT_NEAR(inc.value(), batch, 1e-9 * std::max(1.0, batch)) << i;
+  }
+}
+
+TEST(CusumStdIncremental, ShortAndConstantSeries) {
+  CusumStd inc;
+  EXPECT_DOUBLE_EQ(inc.value(), 0.0);
+  inc.add(5.0);
+  EXPECT_DOUBLE_EQ(inc.value(), 0.0);  // < 2 samples, like cusum_std
+  inc.reset();
+  EXPECT_EQ(inc.count(), 0u);
+  for (int i = 0; i < 40; ++i) inc.add(3.14);  // constant series
+  EXPECT_NEAR(inc.value(), 0.0, 1e-9);
+}
+
 TEST(PageCusum, RejectsBadParameters) {
   EXPECT_THROW(PageCusum(0.0, -1.0, 5.0), std::invalid_argument);
   EXPECT_THROW(PageCusum(0.0, 0.5, 0.0), std::invalid_argument);

@@ -8,6 +8,13 @@
 //
 //   vqoe_collector --probes=4 --port=9977 --model-dir=models/
 //   vqoe_collector --probes=1 --train=2000 --spool=/var/tmp/capture
+//   vqoe_collector --probes=1 --train=2000 --window=10 --hop=5
+//
+// With --window=SECONDS the engine also scores *mid-session*: every time a
+// window closes on some shard, a WindowVerdict (stall/representation labels
+// with forest confidences) is emitted on the live verdict stream, harvested
+// here while the capture is still running and optionally teed to its own
+// spool (--verdict-spool) for downstream consumers.
 //
 // Exits after --probes streams finish, printing per-subscriber QoE, the
 // engine's shard statistics and the transport counters.
@@ -22,6 +29,7 @@
 #include "vqoe/core/pipeline.h"
 #include "vqoe/engine/engine.h"
 #include "vqoe/trace/weblog.h"
+#include "vqoe/window/verdict_log.h"
 #include "vqoe/wire/spool.h"
 #include "vqoe/wire/transport.h"
 #include "vqoe/workload/corpus.h"
@@ -39,11 +47,16 @@ using vqoe::tool::parse_arg_or;
       "                      [--model-dir=DIR | --train=N [--seed=N]]\n"
       "                      [--spool=DIR] [--merge-key=timestamp|arrival]\n"
       "                      [--min-chunks=N] [--ack-window=N]\n"
+      "                      [--window=SECONDS] [--hop=SECONDS]\n"
+      "                      [--verdict-spool=DIR]\n"
       "  --probes=N     exit after N probe streams complete\n"
       "  --model-dir    load trained models (vqoe_train output)\n"
       "  --train=N      train in-process on N synthesized sessions instead\n"
       "  --spool=DIR    tee the merged feed to a spool for replay\n"
-      "  --merge-key    field the per-probe streams are sorted by\n");
+      "  --merge-key    field the per-probe streams are sorted by\n"
+      "  --window=S     mid-session verdicts every S stream-seconds\n"
+      "  --hop=S        window hop (< window = sliding; default tumbling)\n"
+      "  --verdict-spool=DIR  tee the live verdict stream to its own spool\n");
   std::exit(2);
 }
 
@@ -85,6 +98,15 @@ int main(int argc, char** argv) {
     engine_config.monitor.min_chunks =
         parse_arg<std::size_t>("--min-chunks", min_chunks);
   }
+  if (const char* window_len = arg_value(argc, argv, "--window")) {
+    engine_config.monitor.window.length_s =
+        parse_arg<double>("--window", window_len);
+    engine_config.monitor.window.min_chunks = 2;
+  }
+  if (const char* hop = arg_value(argc, argv, "--hop")) {
+    engine_config.monitor.window.hop_s = parse_arg<double>("--hop", hop);
+  }
+  const bool windowed = engine_config.monitor.window.enabled();
   engine::MonitorEngine engine{pipeline, engine_config};
 
   // --- collector ----------------------------------------------------------
@@ -111,14 +133,42 @@ int main(int argc, char** argv) {
     tee = std::make_unique<wire::SpoolWriter>(spool);
     config.tee = tee.get();
   }
+  std::unique_ptr<window::VerdictSpoolWriter> verdict_tee;
+  if (const char* dir = arg_value(argc, argv, "--verdict-spool")) {
+    if (!windowed) {
+      std::fprintf(stderr, "--verdict-spool requires --window\n");
+      return 2;
+    }
+    verdict_tee = std::make_unique<window::VerdictSpoolWriter>(dir);
+  }
 
   wire::Collector collector{config};
   std::printf("listening on port %u for %llu probe(s)...\n", collector.port(),
               static_cast<unsigned long long>(probes));
 
+  // Live verdict accounting: harvested while the capture runs (that is the
+  // point of the stream), not just at drain time.
+  std::size_t verdicts_total = 0;
+  std::size_t verdicts_stalled = 0;
+  const auto drain_verdicts = [&] {
+    const auto verdicts = engine.harvest_verdicts();
+    for (const auto& v : verdicts) {
+      ++verdicts_total;
+      if (v.stall != static_cast<std::uint8_t>(core::StallLabel::no_stalls)) {
+        ++verdicts_stalled;
+      }
+    }
+    if (verdict_tee && !verdicts.empty()) verdict_tee->append(verdicts);
+  };
+
+  std::size_t since_harvest = 0;
   const wire::CollectorStats wire_stats =
       collector.run([&](const trace::WeblogRecord& record) {
         engine.ingest(record);
+        if (windowed && ++since_harvest >= 4096) {
+          since_harvest = 0;
+          drain_verdicts();
+        }
       });
 
   // --- report -------------------------------------------------------------
@@ -132,7 +182,9 @@ int main(int argc, char** argv) {
     stats.sessions++;
     if (s.report.stall != core::StallLabel::no_stalls) stats.stalled++;
   }
+  if (windowed) drain_verdicts();  // the tail emitted by drain()'s flush
   if (tee) tee->close();
+  if (verdict_tee) verdict_tee->close();
 
   std::printf("\ntransport: %llu probes, %llu frames, %llu records "
               "(%llu bytes), %llu protocol errors\n",
@@ -146,18 +198,41 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tee->records_written()),
                 tee->segments(), tee->directory().c_str());
   }
+  if (verdict_tee) {
+    std::printf("verdict spool: %llu verdicts in %zu segment(s) under %s\n",
+                static_cast<unsigned long long>(
+                    verdict_tee->verdicts_written()),
+                verdict_tee->segments(), verdict_tee->directory().c_str());
+  }
 
   const engine::EngineStats engine_stats = engine.stats();
   std::printf("engine: %llu records over %zu shards, %llu sessions\n",
               static_cast<unsigned long long>(engine_stats.records_out),
               engine.shard_count(),
               static_cast<unsigned long long>(engine_stats.sessions_reported));
+  if (windowed) {
+    std::printf("windows: %llu closed, %llu verdicts, %zu harvested "
+                "(%zu stalled)\n",
+                static_cast<unsigned long long>(engine_stats.windows_emitted),
+                static_cast<unsigned long long>(engine_stats.verdicts_emitted),
+                verdicts_total, verdicts_stalled);
+  }
   for (std::size_t i = 0; i < engine_stats.shards.size(); ++i) {
     const auto& s = engine_stats.shards[i];
-    std::printf("  shard %zu: %llu records, %llu sessions, queue peak %zu\n",
-                i, static_cast<unsigned long long>(s.records_out),
-                static_cast<unsigned long long>(s.sessions_reported),
-                s.queue_peak);
+    if (windowed) {
+      std::printf(
+          "  shard %zu: %llu records, %llu sessions, %llu windows, "
+          "%llu verdicts, queue peak %zu\n",
+          i, static_cast<unsigned long long>(s.records_out),
+          static_cast<unsigned long long>(s.sessions_reported),
+          static_cast<unsigned long long>(s.windows_emitted),
+          static_cast<unsigned long long>(s.verdicts_emitted), s.queue_peak);
+    } else {
+      std::printf("  shard %zu: %llu records, %llu sessions, queue peak %zu\n",
+                  i, static_cast<unsigned long long>(s.records_out),
+                  static_cast<unsigned long long>(s.sessions_reported),
+                  s.queue_peak);
+    }
   }
 
   std::printf("\n%-12s %-9s %s\n", "subscriber", "sessions", "stalled");
